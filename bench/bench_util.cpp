@@ -1,0 +1,75 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lintime::bench {
+
+sim::ModelParams default_params() {
+  sim::ModelParams p{5, 10.0, 2.0, 0.0};
+  p.eps = p.optimal_eps();
+  return p;
+}
+
+double measure_worst_latency(const adt::DataType& type, const MeasureSpec& spec,
+                             const sim::ModelParams& params) {
+  harness::RunSpec run;
+  run.params = params;
+  run.algo = spec.algo;
+  run.X = spec.X;
+  run.delays = std::make_shared<sim::ConstantDelay>(params.d);
+
+  // Prefix at p0, then the measured call at p1 well after quiescence.
+  const double t =
+      (static_cast<double>(spec.rho.size()) + 2.0) * (params.d + params.u + params.eps + 1.0);
+  run.scripts.assign(static_cast<std::size_t>(params.n), {});
+  run.scripts[0] = spec.rho;
+  run.calls = {harness::Call{t, 1, spec.op, spec.arg}};
+
+  const auto result = harness::execute(type, run);
+  // The measured instance is the one at p1.
+  double latency = -1;
+  for (const auto& op : result.record.ops) {
+    if (op.proc == 1 && op.op == spec.op) latency = op.latency();
+  }
+  return latency;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void print_table(const std::string& title, const sim::ModelParams& params,
+                 const std::vector<TableRow>& rows) {
+  std::printf("%s\n", title.c_str());
+  std::printf("model: n=%d, d=%g, u=%g, eps=(1-1/n)u=%g, m=min{eps,u,d/3}=%g\n", params.n,
+              params.d, params.u, params.eps, params.m());
+  std::printf("%-18s | %-14s | %-26s | %-16s | %-12s | %-12s\n", "Operation", "Prev LB",
+              "New LB", "New UB", "Meas. Alg1", "Meas. Centr");
+  std::printf("%s\n", std::string(112, '-').c_str());
+  for (const auto& row : rows) {
+    std::printf("%-18s | %-14s | %-26s | %-16s | %-12s | %-12s\n", row.operation.c_str(),
+                row.prev_lower.c_str(), row.new_lower.c_str(), row.new_upper.c_str(),
+                row.measured_ours < 0 ? "-" : fmt(row.measured_ours).c_str(),
+                row.measured_central < 0 ? "-" : fmt(row.measured_central).c_str());
+    if (!row.note.empty()) std::printf("%-18s   note: %s\n", "", row.note.c_str());
+  }
+  std::printf("\n");
+}
+
+void print_experiment(const shift::ExperimentResult& result) {
+  std::printf("[lower-bound experiment] %s\n", result.name.c_str());
+  std::printf("  bound = %s, unsafe |OP| = %s -> unsafe violated: %s, Algorithm 1 survived: %s\n",
+              fmt(result.bound).c_str(), fmt(result.unsafe_latency).c_str(),
+              result.unsafe_violated ? "YES" : "no", result.safe_survived ? "YES" : "no");
+  std::istringstream details(result.details);
+  std::string line;
+  while (std::getline(details, line)) {
+    std::printf("    %s\n", line.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace lintime::bench

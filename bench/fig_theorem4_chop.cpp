@@ -1,0 +1,86 @@
+// Theorem 4 constructions (Figures 2-7): the shift-and-chop technique for
+// the d + min{eps,u,d/3} pair-free bound.  Prints the proof's delay matrix
+// D^1 (Figure 2), runs the live adversarial run R4 against the unsafe
+// algorithm (|OOP| = d + m/2) for three pair-free operations, and then
+// mechanically verifies the shift-and-chop bookkeeping of proof steps 2-3
+// (Figures 3-4): exactly one invalid edge after the shift, Lemma 2's
+// validity postconditions after the chop, and survival of p1's operation.
+
+#include <cstdio>
+
+#include "adt/counter_type.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "adt/stack_type.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+void print_chop(const lintime::shift::ChopDemoResult& demo, const char* label) {
+  std::printf("[shift-and-chop bookkeeping] %s\n", label);
+  std::printf("  single invalid edge: %s, Lemma 2 valid: %s, op survives chop: %s\n",
+              demo.one_invalid_edge ? "YES" : "no", demo.chop_valid ? "YES" : "no",
+              demo.op_survives_chop ? "YES" : "no");
+  std::printf("%s\n", demo.details.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace lintime;
+  using adt::Value;
+  using harness::ScriptOp;
+
+  const auto params = bench::default_params();
+  const double m = params.m();
+
+  std::printf("Theorem 4 constructions: pair-free |OP| >= d + m = %g + %g\n\n", params.d, m);
+
+  std::printf("delay matrix D^1 (Figure 2), m = %g:\n", m);
+  std::printf("  into p0: d-m (except from p1: d); from p1: d-m (except to p0: d); rest: d\n\n");
+
+  {
+    adt::RmwRegisterType reg;
+    shift::Theorem4Spec spec;
+    spec.op = "fetch_add";
+    spec.arg0 = Value{100};
+    spec.arg1 = Value{200};
+    bench::print_experiment(shift::theorem4_pair_free(reg, spec, params));
+    print_chop(shift::theorem4_chop_demo(reg, spec, params), "RMW fetch_add");
+
+    // The full five-run proof pipeline (Figures 3-7) with Claims 4 and 5
+    // verified on the records.
+    const auto pipeline = shift::theorem4_full_pipeline(reg, spec, params);
+    std::printf("[full pipeline R1..R5] RMW fetch_add: %s\n%s\n",
+                pipeline.ok() ? "ALL CLAIMS HOLD, contradiction exhibited" : "INCOMPLETE",
+                pipeline.details.c_str());
+  }
+  {
+    adt::QueueType queue;
+    shift::Theorem4Spec spec;
+    spec.op = "dequeue";
+    spec.arg0 = Value::nil();
+    spec.arg1 = Value::nil();
+    spec.rho = {ScriptOp{"enqueue", Value{7}}};
+    bench::print_experiment(shift::theorem4_pair_free(queue, spec, params));
+    print_chop(shift::theorem4_chop_demo(queue, spec, params), "queue dequeue");
+  }
+  {
+    adt::StackType st;
+    shift::Theorem4Spec spec;
+    spec.op = "pop";
+    spec.arg0 = Value::nil();
+    spec.arg1 = Value::nil();
+    spec.rho = {ScriptOp{"push", Value{7}}};
+    bench::print_experiment(shift::theorem4_pair_free(st, spec, params));
+  }
+  {
+    adt::CounterType ctr;
+    shift::Theorem4Spec spec;
+    spec.op = "fetch_inc";
+    spec.arg0 = Value::nil();
+    spec.arg1 = Value::nil();
+    bench::print_experiment(shift::theorem4_pair_free(ctr, spec, params));
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Latency distributions under random (rather than worst-case) delays -- a
+// systems-level companion to the tables: Algorithm 1's response times are
+// timer-driven and therefore CONSTANT per class regardless of realized
+// delays, while the centralized baseline's latency tracks the delay
+// distribution.  Swept over delay spreads (u) and seeds.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "adt/queue_type.hpp"
+#include "harness/runner.hpp"
+#include "lin/checker.hpp"
+
+namespace {
+
+using namespace lintime;
+using adt::Value;
+
+struct Dist {
+  double min = 0, mean = 0, max = 0;
+};
+
+Dist distribution(harness::AlgoKind algo, const sim::ModelParams& params, const char* op,
+                  int seeds) {
+  adt::QueueType queue;
+  std::vector<double> samples;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    harness::RunSpec spec;
+    spec.params = params;
+    spec.algo = algo;
+    spec.X = (algo == harness::AlgoKind::kAlgorithmOne) ? (params.d - params.eps) / 2 : 0.0;
+    spec.delays = std::make_shared<sim::UniformRandomDelay>(
+        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
+    spec.scripts = harness::random_scripts(queue, params.n, 6,
+                                           static_cast<std::uint64_t>(seed) * 31);
+    const auto result = harness::execute(queue, spec);
+    for (const auto& rec : result.record.ops) {
+      if (rec.op == op && rec.complete()) samples.push_back(rec.latency());
+    }
+  }
+  Dist d;
+  if (samples.empty()) return d;
+  d.min = *std::min_element(samples.begin(), samples.end());
+  d.max = *std::max_element(samples.begin(), samples.end());
+  for (const double s : samples) d.mean += s;
+  d.mean /= static_cast<double>(samples.size());
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Latency distributions under uniformly random delays in [d-u, d]\n");
+  std::printf("(20 seeds x 6 ops/process; Algorithm 1 at X = (d-eps)/2)\n\n");
+
+  for (const double u : {0.5, 2.0, 4.0}) {
+    sim::ModelParams params{5, 10.0, u, 0.0};
+    params.eps = params.optimal_eps();
+    std::printf("u = %g (delays in [%g, %g], eps = %g):\n", u, params.min_delay(), params.d,
+                params.eps);
+    std::printf("  %-14s %-10s %26s %26s\n", "impl", "op", "min / mean / max",
+                "class bound");
+    for (const auto algo : {harness::AlgoKind::kAlgorithmOne, harness::AlgoKind::kCentralized}) {
+      for (const char* op : {"enqueue", "peek", "dequeue"}) {
+        const auto dist = distribution(algo, params, op, 20);
+        std::string bound = "2d = " + std::to_string(2 * params.d);
+        if (algo == harness::AlgoKind::kAlgorithmOne) {
+          const double X = (params.d - params.eps) / 2;
+          bound = op == std::string("enqueue") ? "X+eps" : op == std::string("peek") ? "d-X"
+                                                                                     : "d+eps";
+          const double v = op == std::string("enqueue") ? X + params.eps
+                           : op == std::string("peek")  ? params.d - X
+                                                        : params.d + params.eps;
+          bound += " = " + std::to_string(v);
+        }
+        std::printf("  %-14s %-10s %8.2f / %6.2f / %6.2f %28s\n",
+                    harness::to_string(algo), op, dist.min, dist.mean, dist.max, bound.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("=> Algorithm 1's accessor/mutator latencies are delay-independent\n"
+              "   (fixed timers); only OOPs may finish early under concurrency.\n"
+              "   The centralized baseline's latency follows the delay distribution.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Google-benchmark microbenchmarks: raw throughput of the simulator kernel,
+// Algorithm 1 end-to-end, the linearizability checker (with the
+// memoization ablation visible through history size scaling), the empirical
+// classifier, and the shifting machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "adt/classify.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "clocksync/lundelius_lynch.hpp"
+#include "harness/runner.hpp"
+#include "lin/checker.hpp"
+#include "shift/shift.hpp"
+
+namespace {
+
+using lintime::adt::Value;
+namespace harness = lintime::harness;
+namespace sim = lintime::sim;
+
+sim::ModelParams params_for(int n) {
+  sim::ModelParams p{n, 10.0, 2.0, 0.0};
+  p.eps = p.optimal_eps();
+  return p;
+}
+
+/// End-to-end Algorithm 1 run: n processes, ops_per_proc closed-loop ops.
+void BM_AlgorithmOneThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lintime::adt::QueueType queue;
+  std::int64_t total_ops = 0;
+  for (auto _ : state) {
+    harness::RunSpec spec;
+    spec.params = params_for(n);
+    spec.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 7);
+    spec.scripts = harness::random_scripts(queue, n, 20, 99);
+    const auto result = harness::execute(queue, spec);
+    benchmark::DoNotOptimize(result.record.ops.size());
+    total_ops += static_cast<std::int64_t>(result.record.ops.size());
+  }
+  state.SetItemsProcessed(total_ops);
+}
+BENCHMARK(BM_AlgorithmOneThroughput)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Simulator event throughput: message ping storm without algorithm logic.
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  lintime::adt::RegisterType reg;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    harness::RunSpec spec;
+    spec.params = params_for(8);
+    spec.scripts = harness::random_scripts(reg, 8, 25, 3);
+    const auto result = harness::execute(reg, spec);
+    benchmark::DoNotOptimize(result.record.steps.size());
+    steps += static_cast<std::int64_t>(result.record.steps.size());
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+/// Checker cost as history size grows (memoized Wing-Gong).
+void BM_CheckerScaling(benchmark::State& state) {
+  const int ops_per_proc = static_cast<int>(state.range(0));
+  lintime::adt::QueueType queue;
+  harness::RunSpec spec;
+  spec.params = params_for(4);
+  spec.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 5);
+  spec.scripts = harness::random_scripts(queue, 4, ops_per_proc, 11);
+  const auto result = harness::execute(queue, spec);
+  for (auto _ : state) {
+    const auto check = lintime::lin::check_linearizability(queue, result.record);
+    benchmark::DoNotOptimize(check.linearizable);
+  }
+  state.SetLabel(std::to_string(result.record.ops.size()) + " ops");
+}
+BENCHMARK(BM_CheckerScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// Empirical classifier over a full data type.
+void BM_ClassifierQueue(benchmark::State& state) {
+  lintime::adt::QueueType queue;
+  for (auto _ : state) {
+    const auto result = lintime::adt::classify_all(queue);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_ClassifierQueue);
+
+/// shift() on a recorded run.
+void BM_ShiftRun(benchmark::State& state) {
+  lintime::adt::QueueType queue;
+  harness::RunSpec spec;
+  spec.params = params_for(4);
+  spec.scripts = harness::random_scripts(queue, 4, 10, 23);
+  const auto record = harness::execute(queue, spec).record;
+  const std::vector<double> x = {0.1, -0.1, 0.05, 0.0};
+  for (auto _ : state) {
+    const auto shifted = lintime::shift::shift_run(record, x);
+    benchmark::DoNotOptimize(shifted.steps.size());
+  }
+}
+BENCHMARK(BM_ShiftRun);
+
+/// Clock synchronization round.
+void BM_ClockSync(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = params_for(n);
+  const std::vector<double> hw(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    const auto outcome = lintime::clocksync::synchronize(
+        p, hw, std::make_shared<sim::ConstantDelay>(9.0));
+    benchmark::DoNotOptimize(outcome.achieved_skew);
+  }
+}
+BENCHMARK(BM_ClockSync)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+// Appended microbenchmarks: the Construction 1 validator, the
+// non-deterministic checker, and the composite (multi-object) runtime.
+
+#include "adt/pool_type.hpp"
+#include "adt/register_type.hpp"
+#include "core/composite.hpp"
+#include "core/construction.hpp"
+#include "lin/nondet_checker.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+void BM_ConstructionValidator(benchmark::State& state) {
+  lintime::adt::QueueType queue;
+  const auto params = params_for(4);
+  std::vector<const lintime::core::AlgorithmOneProcess*> replicas;
+  lintime::sim::WorldConfig config;
+  config.params = params;
+  config.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 3);
+  lintime::sim::World world(config, [&](sim::ProcId) {
+    auto p = std::make_unique<lintime::core::AlgorithmOneProcess>(
+        queue, lintime::core::TimingPolicy::standard(params, 0.0));
+    replicas.push_back(p.get());
+    return p;
+  });
+  for (int i = 0; i < 4; ++i) {
+    for (int p = 0; p < 4; ++p) {
+      world.invoke_at(i * 20.0 + p * 0.25, p, i % 2 == 0 ? "enqueue" : "dequeue",
+                      lintime::adt::Value{i});
+    }
+  }
+  world.run();
+  const auto record = world.record();
+  for (auto _ : state) {
+    const auto c = lintime::core::build_construction(queue, replicas, record);
+    benchmark::DoNotOptimize(c.valid());
+  }
+}
+BENCHMARK(BM_ConstructionValidator);
+
+void BM_NondetChecker(benchmark::State& state) {
+  lintime::adt::PoolType det;
+  lintime::adt::PoolNondetSpec spec;
+  harness::RunSpec run;
+  run.params = params_for(4);
+  run.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 5);
+  run.scripts = harness::random_scripts(det, 4, 6, 13);
+  const auto record = harness::execute(det, run).record;
+  for (auto _ : state) {
+    const auto c = lintime::lin::check_linearizability_nondet(spec, record);
+    benchmark::DoNotOptimize(c.linearizable);
+  }
+}
+BENCHMARK(BM_NondetChecker);
+
+void BM_CompositeTwoObjects(benchmark::State& state) {
+  lintime::adt::QueueType queue;
+  lintime::adt::RegisterType reg;
+  lintime::core::ProductType product({&queue, &reg});
+  const auto params = params_for(4);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    lintime::sim::WorldConfig config;
+    config.params = params;
+    config.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 9);
+    lintime::sim::World world(config, [&](sim::ProcId) {
+      return std::make_unique<lintime::core::CompositeProcess>(
+          product, lintime::core::TimingPolicy::standard(params, 0.0));
+    });
+    for (int i = 0; i < 5; ++i) {
+      world.invoke_at(i * 20.0, 0, "0:enqueue", lintime::adt::Value{i});
+      world.invoke_at(i * 20.0, 1, "1:write", lintime::adt::Value{i});
+      world.invoke_at(i * 20.0, 2, "0:peek", lintime::adt::Value::nil());
+      world.invoke_at(i * 20.0, 3, "1:read", lintime::adt::Value::nil());
+    }
+    world.run();
+    ops += static_cast<std::int64_t>(world.record().ops.size());
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_CompositeTwoObjects);
+
+}  // namespace

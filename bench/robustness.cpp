@@ -1,0 +1,88 @@
+// Assumption-sensitivity sweep: what the paper's model assumptions buy.
+// Algorithm 1 is proven correct under (a) drift-free clocks synchronized to
+// eps and (b) reliable links with delays in [d-u, d].  This bench violates
+// each assumption by a controlled amount and measures the fraction of random
+// workloads that stop being linearizable -- the cliff is where the
+// assumption's slack runs out.
+
+#include <cstdio>
+#include <memory>
+
+#include "adt/queue_type.hpp"
+#include "core/algorithm_one.hpp"
+#include "core/timing_policy.hpp"
+#include "harness/runner.hpp"
+#include "lin/checker.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace lintime;
+using adt::Value;
+
+/// Runs `seeds` random workloads under the given config mutator; returns the
+/// fraction that remain linearizable.
+double survival_rate(double drift, double drop, int seeds) {
+  adt::QueueType queue;
+  sim::ModelParams params{4, 10.0, 2.0, 1.5};
+  int ok = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::WorldConfig config;
+    config.params = params;
+    config.delays = std::make_shared<sim::UniformRandomDelay>(
+        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
+    // Alternating drift: half the clocks fast by `drift`, half slow.
+    config.clock_rates = {1.0 + drift, 1.0 - drift, 1.0 + drift, 1.0 - drift};
+    config.drop_probability = drop;
+    config.drop_seed = static_cast<std::uint64_t>(seed) * 13;
+
+    sim::World world(config, [&](sim::ProcId) {
+      return std::make_unique<core::AlgorithmOneProcess>(
+          queue, core::TimingPolicy::standard(params, 0.0));
+    });
+    // Long workload so drift has time to accumulate: ~800 time units.
+    const auto scripts =
+        harness::random_scripts(queue, params.n, 20, static_cast<std::uint64_t>(seed) * 7);
+    double t = 0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      for (int p = 0; p < params.n; ++p) {
+        world.invoke_at(t + p * 0.25, p, scripts[static_cast<std::size_t>(p)][i].op,
+                        scripts[static_cast<std::size_t>(p)][i].arg);
+      }
+      t += 40.0;  // spaced: every op completes before the process's next
+    }
+    try {
+      world.run();
+      if (lin::check_linearizability(queue, world.record()).linearizable) ++ok;
+    } catch (const std::exception&) {
+      // e.g. overlap caused by extreme drift: counts as failure
+    }
+  }
+  return static_cast<double>(ok) / seeds;
+}
+
+}  // namespace
+
+int main() {
+  const int seeds = 30;
+  std::printf("Assumption sensitivity (n=4, d=10, u=2, eps=1.5, 80-op random workloads,\n");
+  std::printf("%d seeds each; survival = fraction of runs still linearizable)\n\n", seeds);
+
+  std::printf("Clock drift (rates 1 +- rho; the model assumes rho = 0):\n");
+  std::printf("  %-10s %s\n", "rho", "survival");
+  for (const double rho : {0.0, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1}) {
+    std::printf("  %-10g %.2f\n", rho, survival_rate(rho, 0.0, seeds));
+  }
+
+  std::printf("\nMessage loss (drop probability; the model assumes 0):\n");
+  std::printf("  %-10s %s\n", "p(drop)", "survival");
+  for (const double p : {0.0, 0.001, 0.01, 0.05, 0.1, 0.3}) {
+    std::printf("  %-10g %.2f\n", p, survival_rate(0.0, p, seeds));
+  }
+
+  std::printf("\n=> the algorithm tolerates drift while accumulated skew stays within the\n");
+  std::printf("   eps slack of its timers, and any persistent loss eventually diverges a\n");
+  std::printf("   replica -- quantifying why the paper assumes synchronized clocks and\n");
+  std::printf("   reliable links rather than stating them for convenience.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Table 1: Operation Bounds for Read/Write/Read-Modify-Write
+// Registers.  For each row, the paper's bound columns are printed alongside
+// the measured worst-case latency of Algorithm 1 (at the row's favourable X)
+// and of the centralized folklore baseline; the new-lower-bound rows are
+// backed by live adversary experiments.
+
+#include <cstdio>
+
+#include "adt/rmw_register_type.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lintime;
+  using adt::Value;
+  using bench::fmt;
+  using bench::MeasureSpec;
+  using harness::AlgoKind;
+
+  const auto params = bench::default_params();
+  const double eps = params.eps;
+  const double d = params.d;
+  const double u = params.u;
+  const double m = params.m();
+  adt::RmwRegisterType reg;
+
+  auto ours = [&](const char* op, Value arg, double X) {
+    MeasureSpec s;
+    s.op = op;
+    s.arg = std::move(arg);
+    s.X = X;
+    return bench::measure_worst_latency(reg, s, params);
+  };
+  auto central = [&](const char* op, Value arg) {
+    MeasureSpec s;
+    s.op = op;
+    s.arg = std::move(arg);
+    s.algo = AlgoKind::kCentralized;
+    return bench::measure_worst_latency(reg, s, params);
+  };
+
+  std::vector<bench::TableRow> rows;
+  rows.push_back({"Read-Modify-Write", "d [13]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 4)",
+                  "d+eps = " + fmt(d + eps), ours("fetch_add", Value{1}, 0.0),
+                  central("fetch_add", Value{1}),
+                  ""});
+  rows.push_back({"Write", "u/2 [3]", "(1-1/n)u = " + fmt((1.0 - 1.0 / params.n) * u) + " (Thm 3)",
+                  "eps = " + fmt(eps) + " (X=0)", ours("write", Value{1}, 0.0),
+                  central("write", Value{1}), ""});
+  rows.push_back({"Read", "u/4 [3]", "-", "eps = " + fmt(eps) + " (X=d-eps)",
+                  ours("read", Value::nil(), d - eps), central("read", Value::nil()), ""});
+  rows.push_back({"Write + Read", "d [13]", "-", "d+eps = " + fmt(d + eps),
+                  ours("write", Value{1}, 0.0) + ours("read", Value::nil(), 0.0),
+                  central("write", Value{1}) + central("read", Value::nil()),
+                  "sum is X-invariant: (X+eps) + (d-X) = d+eps"});
+
+  bench::print_table("Table 1: Operation Bounds for Read/Write/RMW Registers", params, rows);
+
+  // Lower-bound experiments backing the "New LB" column.
+  {
+    shift::Theorem4Spec spec;
+    spec.op = "fetch_add";
+    spec.arg0 = Value{100};
+    spec.arg1 = Value{200};
+    bench::print_experiment(shift::theorem4_pair_free(reg, spec, params));
+  }
+  {
+    shift::Theorem3Spec spec;
+    spec.op = "write";
+    spec.args = {Value{10}, Value{20}, Value{30}, Value{40}, Value{50}};
+    spec.probe = {harness::ScriptOp{"read", Value::nil()}};
+    bench::print_experiment(shift::theorem3_last_sensitive(reg, spec, params));
+  }
+  {
+    shift::Theorem2Spec spec;
+    spec.aop = "read";
+    spec.aop_arg = Value::nil();
+    spec.mutator_op = "fetch_add";
+    spec.mutator_arg = Value{5};
+    bench::print_experiment(shift::theorem2_pure_accessor(reg, spec, params));
+  }
+  {
+    // The "Write + Read" row's d bound (Section 6.1 generalization of
+    // Lipton-Sandberg to any interfering pair).
+    shift::InterferenceSpec spec;
+    spec.mutator_op = "write";
+    spec.mutator_arg = Value{5};
+    spec.aop = "read";
+    spec.aop_arg = Value::nil();
+    bench::print_experiment(shift::interference_sum(reg, spec, params));
+  }
+  return 0;
+}

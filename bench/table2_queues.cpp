@@ -1,0 +1,98 @@
+// Reproduces Table 2: Operation Bounds for Queues (Enqueue, Dequeue, Peek,
+// Enqueue + Peek), with the backing lower-bound experiments for Theorems
+// 2, 3, 4 and 5.
+
+#include <cstdio>
+
+#include "adt/queue_type.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lintime;
+  using adt::Value;
+  using bench::fmt;
+  using bench::MeasureSpec;
+  using harness::AlgoKind;
+  using harness::ScriptOp;
+
+  const auto params = bench::default_params();
+  const double eps = params.eps;
+  const double d = params.d;
+  const double u = params.u;
+  const double m = params.m();
+  adt::QueueType queue;
+
+  const std::vector<ScriptOp> seeded = {ScriptOp{"enqueue", Value{7}},
+                                        ScriptOp{"enqueue", Value{8}}};
+
+  auto ours = [&](const char* op, Value arg, double X, std::vector<ScriptOp> rho = {}) {
+    MeasureSpec s;
+    s.op = op;
+    s.arg = std::move(arg);
+    s.X = X;
+    s.rho = std::move(rho);
+    return bench::measure_worst_latency(queue, s, params);
+  };
+  auto central = [&](const char* op, Value arg, std::vector<ScriptOp> rho = {}) {
+    MeasureSpec s;
+    s.op = op;
+    s.arg = std::move(arg);
+    s.algo = AlgoKind::kCentralized;
+    s.rho = std::move(rho);
+    return bench::measure_worst_latency(queue, s, params);
+  };
+
+  std::vector<bench::TableRow> rows;
+  rows.push_back({"Enqueue", "u/2 [3]", "(1-1/n)u = " + fmt((1.0 - 1.0 / params.n) * u) +
+                  " (Thm 3)", "eps = " + fmt(eps) + " (X=0)", ours("enqueue", Value{1}, 0.0),
+                  central("enqueue", Value{1}), ""});
+  rows.push_back({"Dequeue", "d [3]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 4)",
+                  "d+eps = " + fmt(d + eps), ours("dequeue", Value::nil(), 0.0, seeded),
+                  central("dequeue", Value::nil(), seeded), ""});
+  rows.push_back({"Peek", "-", "u/4 = " + fmt(u / 4) + " (Thm 2)",
+                  "eps = " + fmt(eps) + " (X=d-eps)",
+                  ours("peek", Value::nil(), d - eps, seeded),
+                  central("peek", Value::nil(), seeded), "first lower bound for Peek"});
+  rows.push_back({"Enqueue + Peek", "d [13]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 5)",
+                  "d+eps = " + fmt(d + eps),
+                  ours("enqueue", Value{1}, 0.0) + ours("peek", Value::nil(), 0.0, seeded),
+                  central("enqueue", Value{1}) + central("peek", Value::nil(), seeded),
+                  "sum is X-invariant"});
+
+  bench::print_table("Table 2: Operation Bounds for Queues", params, rows);
+
+  {
+    shift::Theorem3Spec spec;
+    spec.op = "enqueue";
+    spec.args = {Value{1}, Value{2}, Value{3}, Value{4}, Value{5}};
+    spec.probe = std::vector<ScriptOp>(5, ScriptOp{"dequeue", Value::nil()});
+    bench::print_experiment(shift::theorem3_last_sensitive(queue, spec, params));
+  }
+  {
+    shift::Theorem4Spec spec;
+    spec.op = "dequeue";
+    spec.arg0 = Value::nil();
+    spec.arg1 = Value::nil();
+    spec.rho = {ScriptOp{"enqueue", Value{7}}};
+    bench::print_experiment(shift::theorem4_pair_free(queue, spec, params));
+  }
+  {
+    shift::Theorem2Spec spec;
+    spec.aop = "peek";
+    spec.aop_arg = Value::nil();
+    spec.mutator_op = "dequeue";
+    spec.mutator_arg = Value::nil();
+    spec.rho = {ScriptOp{"enqueue", Value{1}}};
+    bench::print_experiment(shift::theorem2_pure_accessor(queue, spec, params));
+  }
+  {
+    shift::Theorem5Spec spec;
+    spec.op = "enqueue";
+    spec.arg0 = Value{1};
+    spec.arg1 = Value{2};
+    spec.aop = "peek";
+    spec.aop_arg = Value::nil();
+    bench::print_experiment(shift::theorem5_sum(queue, spec, params));
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Table 5 (the paper's summary): upper bounds per functional
+// class (AOP d-X, MOP X+eps, OOP d+eps) and lower bounds per algebraic
+// class, with the measured values aggregated across all four table data
+// types and the experiment status for each theorem.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "adt/queue_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "adt/stack_type.hpp"
+#include "adt/tree_type.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lintime;
+  using adt::Value;
+  using bench::fmt;
+  using bench::MeasureSpec;
+  using harness::ScriptOp;
+
+  const auto params = bench::default_params();
+  const double d = params.d;
+  const double u = params.u;
+  const double eps = params.eps;
+  const double m = params.m();
+
+  adt::RmwRegisterType reg;
+  adt::QueueType queue;
+  adt::StackType st;
+  adt::TreeType tree;
+
+  auto measure = [&](const adt::DataType& type, const char* op, Value arg, double X,
+                     std::vector<ScriptOp> rho = {}) {
+    MeasureSpec s;
+    s.op = op;
+    s.arg = std::move(arg);
+    s.X = X;
+    s.rho = std::move(rho);
+    return bench::measure_worst_latency(type, s, params);
+  };
+
+  std::printf("Table 5: Summary of Upper and Lower Bounds per Operation Class\n");
+  std::printf("model: n=%d, d=%g, u=%g, eps=(1-1/n)u=%g, m=min{eps,u,d/3}=%g\n\n", params.n, d,
+              u, eps, m);
+
+  // Upper bounds (Algorithm 1), measured across types at both ends of X.
+  const std::vector<ScriptOp> q_seed = {ScriptOp{"enqueue", Value{1}}};
+  const std::vector<ScriptOp> s_seed = {ScriptOp{"push", Value{1}}};
+
+  const double aop_fast = std::max(
+      {measure(queue, "peek", Value::nil(), d - eps, q_seed),
+       measure(st, "peek", Value::nil(), d - eps, s_seed),
+       measure(reg, "read", Value::nil(), d - eps),
+       measure(tree, "depth", Value{0}, d - eps)});
+  const double mop_fast = std::max(
+      {measure(queue, "enqueue", Value{1}, 0.0), measure(st, "push", Value{1}, 0.0),
+       measure(reg, "write", Value{1}, 0.0),
+       measure(tree, "insert", adt::TreeType::edge(0, 1), 0.0)});
+  const double oop = std::max(
+      {measure(queue, "dequeue", Value::nil(), 0.0, q_seed),
+       measure(st, "pop", Value::nil(), 0.0, s_seed), measure(reg, "fetch_add", Value{1}, 0.0)});
+
+  std::printf("Upper bounds (Algorithm 1, X in [0, d-eps]):\n");
+  std::printf("  %-28s formula      at best X   measured-max-across-types\n", "class");
+  std::printf("  %-28s d - X        %-10s  %s\n", "pure accessor (AOP)", fmt(eps).c_str(),
+              fmt(aop_fast).c_str());
+  std::printf("  %-28s X + eps      %-10s  %s\n", "pure mutator (MOP)", fmt(eps).c_str(),
+              fmt(mop_fast).c_str());
+  std::printf("  %-28s d + eps      %-10s  %s\n\n", "mixed (OOP)", fmt(d + eps).c_str(),
+              fmt(oop).c_str());
+
+  std::printf("Lower bounds (algebraic classes):\n");
+  std::printf("  %-34s %-22s example operations\n", "class", "bound");
+  std::printf("  %-34s %-22s read, peek, depth\n", "pure accessor (Thm 2)",
+              ("u/4 = " + fmt(u / 4)).c_str());
+  std::printf("  %-34s %-22s write, enqueue, push, move\n", "last-sensitive mutator (Thm 3)",
+              ("(1-1/k)u = " + fmt((1.0 - 1.0 / params.n) * u) + " @k=n").c_str());
+  std::printf("  %-34s %-22s RMW, dequeue, pop\n", "pair-free (Thm 4)",
+              ("d + m = " + fmt(d + m)).c_str());
+  std::printf("  %-34s %-22s enqueue+peek, insert+depth\n",
+              "transposable + discriminating AOP", ("d + m = " + fmt(d + m) + " (Thm 5, sum)").c_str());
+  std::printf("\n");
+
+  // Bounds as a function of n: with optimal synchronization eps = (1-1/n)u,
+  // the pure-mutator upper bound X+eps (X=0) and the Theorem 3 lower bound
+  // (1-1/n)u coincide for every n, approaching u as n grows.
+  std::printf("Pure-mutator bound vs. n (eps = (1-1/n)u, u = %g):\n", u);
+  std::printf("  %-4s %-12s %-12s %-10s\n", "n", "LB (Thm 3)", "UB (eps)", "measured");
+  for (const int nn : {2, 3, 5, 8, 16}) {
+    sim::ModelParams p{nn, 10.0, u, 0.0};
+    p.eps = p.optimal_eps();
+    adt::QueueType q2;
+    MeasureSpec s;
+    s.op = "enqueue";
+    s.arg = Value{1};
+    s.X = 0.0;
+    const double measured = bench::measure_worst_latency(q2, s, p);
+    std::printf("  %-4d %-12s %-12s %-10s\n", nn,
+                fmt((1.0 - 1.0 / nn) * u).c_str(), fmt(p.eps).c_str(), fmt(measured).c_str());
+  }
+  std::printf("\n");
+
+  // Tightness notes from Section 6.1.
+  std::printf("Tightness (Section 6.1):\n");
+  std::printf("  MOP: eps = (1-1/n)u [optimal sync] -> upper %s == lower %s: TIGHT\n",
+              fmt(eps).c_str(), fmt((1.0 - 1.0 / params.n) * u).c_str());
+  std::printf("  OOP: eps <= min{u, d/3} here, so upper d+eps == lower d+m: %s\n",
+              (std::abs(eps - m) < 1e-12 ? "TIGHT" : "gap"));
+  std::printf("  AOP: gap remains between u/4 and eps (= (1-1/n)u)\n");
+  return 0;
+}

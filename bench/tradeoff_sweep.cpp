@@ -1,0 +1,53 @@
+// The X tradeoff curve of Section 5.1.2 (and the "Write + Read" rows of the
+// tables): measured |AOP|, |MOP|, |OOP| as X sweeps [0, d-eps], for several
+// n, against the centralized and all-OOP baselines.  The AOP and MOP curves
+// cross at X = (d-eps)/2; their sum is constant at d+eps, matching the
+// tables' sum rows.
+
+#include <cstdio>
+
+#include "adt/queue_type.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lintime;
+  using adt::Value;
+  using bench::MeasureSpec;
+  using harness::AlgoKind;
+  using harness::ScriptOp;
+
+  adt::QueueType queue;
+
+  for (const int n : {3, 5, 8}) {
+    sim::ModelParams params{n, 10.0, 2.0, 0.0};
+    params.eps = params.optimal_eps();
+
+    std::printf("n=%d, d=%g, u=%g, eps=%g\n", n, params.d, params.u, params.eps);
+    std::printf("%8s  %10s  %10s  %10s  %12s\n", "X", "AOP(peek)", "MOP(enq)", "OOP(deq)",
+                "AOP+MOP sum");
+
+    const int steps = 8;
+    for (int i = 0; i <= steps; ++i) {
+      const double X = (params.d - params.eps) * i / steps;
+      MeasureSpec aop{"peek", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, X,
+                      AlgoKind::kAlgorithmOne};
+      MeasureSpec mop{"enqueue", Value{1}, {}, X, AlgoKind::kAlgorithmOne};
+      MeasureSpec oop{"dequeue", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, X,
+                      AlgoKind::kAlgorithmOne};
+      const double a = bench::measure_worst_latency(queue, aop, params);
+      const double m = bench::measure_worst_latency(queue, mop, params);
+      const double o = bench::measure_worst_latency(queue, oop, params);
+      std::printf("%8.2f  %10.2f  %10.2f  %10.2f  %12.2f\n", X, a, m, o, a + m);
+    }
+
+    MeasureSpec central{"dequeue", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, 0,
+                        AlgoKind::kCentralized};
+    MeasureSpec alloop{"dequeue", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, 0,
+                       AlgoKind::kAllOop};
+    std::printf("  baselines: centralized dequeue = %.2f (2d = %g), all-OOP dequeue = %.2f "
+                "(d+eps = %g)\n\n",
+                bench::measure_worst_latency(queue, central, params), 2 * params.d,
+                bench::measure_worst_latency(queue, alloop, params), params.d + params.eps);
+  }
+  return 0;
+}

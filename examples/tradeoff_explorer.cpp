@@ -1,0 +1,64 @@
+// Tradeoff explorer: sweeps the algorithm parameter X across [0, d-eps] and
+// prints the measured response time of each operation class, side by side
+// with the folklore baselines.  This is the "knob" of Section 5.1.2: X
+// moves time between pure accessors (d-X) and pure mutators (X+eps) while
+// mixed operations stay at d+eps and the centralized baseline at 2d.
+//
+// Build & run:  ./build/examples/tradeoff_explorer [n] [d] [u]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "adt/queue_type.hpp"
+#include "harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using lintime::adt::Value;
+  namespace harness = lintime::harness;
+
+  lintime::sim::ModelParams params{5, 10.0, 2.0, 0.0};
+  if (argc > 1) params.n = std::atoi(argv[1]);
+  if (argc > 2) params.d = std::atof(argv[2]);
+  if (argc > 3) params.u = std::atof(argv[3]);
+  params.eps = params.optimal_eps();
+  params.validate();
+
+  lintime::adt::QueueType queue;
+
+  auto measure = [&](harness::AlgoKind algo, double X) {
+    harness::RunSpec spec;
+    spec.params = params;
+    spec.algo = algo;
+    spec.X = X;
+    spec.delays = std::make_shared<lintime::sim::ConstantDelay>(params.d);
+    spec.calls = {
+        harness::Call{0.0, 1, "enqueue", Value{1}},
+        harness::Call{40.0, 2, "peek", Value::nil()},
+        harness::Call{80.0, 3, "dequeue", Value::nil()},
+    };
+    return harness::execute(queue, spec);
+  };
+
+  std::printf("model: n=%d, d=%.1f, u=%.1f, eps=(1-1/n)u=%.2f\n\n", params.n, params.d,
+              params.u, params.eps);
+  std::printf("%8s  %12s  %12s  %12s\n", "X", "|AOP| (peek)", "|MOP| (enq)", "|OOP| (deq)");
+
+  const int steps = 10;
+  for (int i = 0; i <= steps; ++i) {
+    const double X = (params.d - params.eps) * i / steps;
+    const auto r = measure(harness::AlgoKind::kAlgorithmOne, X);
+    std::printf("%8.2f  %12.2f  %12.2f  %12.2f\n", X, r.stats_for("peek").max,
+                r.stats_for("enqueue").max, r.stats_for("dequeue").max);
+  }
+
+  const auto central = measure(harness::AlgoKind::kCentralized, 0.0);
+  const auto all_oop = measure(harness::AlgoKind::kAllOop, 0.0);
+  std::printf("\nbaselines (worst case over the same workload):\n");
+  std::printf("  centralized: peek=%.2f enqueue=%.2f dequeue=%.2f  (folklore 2d = %.1f)\n",
+              central.stats_for("peek").max, central.stats_for("enqueue").max,
+              central.stats_for("dequeue").max, 2 * params.d);
+  std::printf("  all-OOP:     peek=%.2f enqueue=%.2f dequeue=%.2f  (uniform d+eps = %.2f)\n",
+              all_oop.stats_for("peek").max, all_oop.stats_for("enqueue").max,
+              all_oop.stats_for("dequeue").max, params.d + params.eps);
+  return 0;
+}

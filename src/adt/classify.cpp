@@ -1,0 +1,346 @@
+#include "adt/classify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace lintime::adt {
+
+namespace {
+
+/// A reachable configuration: the (shortest-first) sequence that reaches it
+/// and the resulting state.
+struct PoolEntry {
+  Sequence seq;
+  std::unique_ptr<ObjectState> state;
+};
+
+/// Every instance obtainable from `state` using `op`'s sample arguments.
+std::vector<Instance> instances_after(const DataType& type, const ObjectState& state,
+                                      const std::string& op) {
+  std::vector<Instance> out;
+  for (const auto& arg : type.sample_args(op)) {
+    auto probe = state.clone();
+    out.push_back(Instance{op, arg, probe->apply(op, arg)});
+  }
+  return out;
+}
+
+/// Every instance of every operation obtainable from `state`.
+std::vector<Instance> all_instances_after(const DataType& type, const ObjectState& state) {
+  std::vector<Instance> out;
+  for (const auto& spec : type.ops()) {
+    auto insts = instances_after(type, state, spec.name);
+    out.insert(out.end(), insts.begin(), insts.end());
+  }
+  return out;
+}
+
+/// BFS over reachable states up to depth `max_len`, deduplicated by
+/// canonical encoding (all classifier predicates depend on rho only through
+/// its end state).
+std::vector<PoolEntry> build_pool(const DataType& type, int max_len) {
+  std::vector<PoolEntry> pool;
+  std::map<std::string, bool> seen;
+
+  pool.push_back(PoolEntry{Sequence{}, type.make_initial_state()});
+  seen[pool.back().state->canonical()] = true;
+
+  std::size_t frontier_begin = 0;
+  for (int depth = 0; depth < max_len; ++depth) {
+    const std::size_t frontier_end = pool.size();
+    for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+      for (const auto& inst : all_instances_after(type, *pool[i].state)) {
+        auto next = pool[i].state->clone();
+        next->apply(inst.op, inst.arg);
+        auto canon = next->canonical();
+        if (seen.contains(canon)) continue;
+        seen[canon] = true;
+        Sequence seq = pool[i].seq;
+        seq.push_back(inst);
+        pool.push_back(PoolEntry{std::move(seq), std::move(next)});
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  return pool;
+}
+
+/// Applies `inst` to a clone of `state`; returns the new state if the
+/// recorded return value matches (instance legal there), nullptr otherwise.
+std::unique_ptr<ObjectState> apply_if_legal(const ObjectState& state, const Instance& inst) {
+  auto next = state.clone();
+  if (next->apply(inst.op, inst.arg) != inst.ret) return nullptr;
+  return next;
+}
+
+/// Applies a list of instances in order; nullptr if any is illegal.
+std::unique_ptr<ObjectState> apply_all_if_legal(const ObjectState& state,
+                                                const std::vector<Instance>& insts) {
+  auto cur = state.clone();
+  for (const auto& inst : insts) {
+    if (cur->apply(inst.op, inst.arg) != inst.ret) return nullptr;
+  }
+  return cur;
+}
+
+bool check_mutator(const DataType& type, const std::vector<PoolEntry>& pool,
+                   const std::string& op, std::string& notes) {
+  for (const auto& entry : pool) {
+    const std::string before = entry.state->canonical();
+    for (const auto& inst : instances_after(type, *entry.state, op)) {
+      auto after = apply_if_legal(*entry.state, inst);
+      if (after->canonical() != before) {
+        notes += "mutator witness: " + inst.to_string() + " after \"" + to_string(entry.seq) +
+                 "\"; ";
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool check_accessor(const DataType& type, const std::vector<PoolEntry>& pool,
+                    const std::string& op, std::string& notes) {
+  for (const auto& entry : pool) {
+    for (const auto& aop : instances_after(type, *entry.state, op)) {
+      for (const auto& other : all_instances_after(type, *entry.state)) {
+        auto shifted = apply_if_legal(*entry.state, other);
+        auto probe = shifted->clone();
+        if (probe->apply(aop.op, aop.arg) != aop.ret) {
+          notes += "accessor witness: " + aop.to_string() + " illegal after " +
+                   other.to_string() + "; ";
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool check_overwriter(const DataType& type, const std::vector<PoolEntry>& pool,
+                      const std::string& op, std::string& notes) {
+  for (const auto& entry : pool) {
+    for (const auto& mop : instances_after(type, *entry.state, op)) {
+      auto direct = apply_if_legal(*entry.state, mop);
+      for (const auto& other : all_instances_after(type, *entry.state)) {
+        auto shifted = apply_if_legal(*entry.state, other);
+        auto via = apply_if_legal(*shifted, mop);
+        if (via == nullptr) continue;  // rho.op.mop not legal: premise fails
+        if (via->canonical() != direct->canonical()) {
+          notes += "overwriter counterexample: " + other.to_string() + " then " +
+                   mop.to_string() + "; ";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool check_transposable(const DataType& type, const std::vector<PoolEntry>& pool,
+                        const std::string& op, std::string& notes) {
+  for (const auto& entry : pool) {
+    const auto insts = instances_after(type, *entry.state, op);
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      for (std::size_t j = 0; j < insts.size(); ++j) {
+        if (i == j || insts[i] == insts[j]) continue;
+        if (apply_all_if_legal(*entry.state, {insts[i], insts[j]}) == nullptr) {
+          notes += "transposable counterexample: " + insts[i].to_string() + " then " +
+                   insts[j].to_string() + " after \"" + to_string(entry.seq) + "\"; ";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Largest k in [2, max_k] admitting a last-sensitivity witness, or 0.
+int check_last_sensitive(const DataType& type, const std::vector<PoolEntry>& pool,
+                         const std::string& op, int max_k, std::string& notes) {
+  for (int k = max_k; k >= 2; --k) {
+    for (const auto& entry : pool) {
+      // Distinct instances of `op` legal after this prefix.
+      std::vector<Instance> insts;
+      for (const auto& inst : instances_after(type, *entry.state, op)) {
+        if (std::find(insts.begin(), insts.end(), inst) == insts.end()) insts.push_back(inst);
+      }
+      const int m = static_cast<int>(insts.size());
+      if (m < k) continue;
+
+      // Try every k-subset of the distinct instances.
+      std::vector<int> pick(static_cast<std::size_t>(k));
+      std::iota(pick.begin(), pick.end(), 0);
+      while (true) {
+        // Enumerate permutations of the chosen subset; record the end state
+        // per permutation together with its last element.
+        std::vector<int> perm(pick.begin(), pick.end());
+        std::sort(perm.begin(), perm.end());
+        bool all_legal = true;
+        std::vector<std::pair<int, std::string>> outcomes;  // (last idx, canonical)
+        do {
+          std::vector<Instance> ordered;
+          ordered.reserve(perm.size());
+          for (int idx : perm) ordered.push_back(insts[static_cast<std::size_t>(idx)]);
+          auto end_state = apply_all_if_legal(*entry.state, ordered);
+          if (end_state == nullptr) {
+            all_legal = false;
+            break;
+          }
+          outcomes.emplace_back(perm.back(), end_state->canonical());
+        } while (std::next_permutation(perm.begin(), perm.end()));
+
+        if (all_legal) {
+          bool witness = true;
+          for (std::size_t a = 0; a < outcomes.size() && witness; ++a) {
+            for (std::size_t b = a + 1; b < outcomes.size() && witness; ++b) {
+              if (outcomes[a].first != outcomes[b].first &&
+                  outcomes[a].second == outcomes[b].second) {
+                witness = false;  // different last, equivalent states
+              }
+            }
+          }
+          if (witness) {
+            std::ostringstream os;
+            os << "last-sensitive k=" << k << " witness after \"" << to_string(entry.seq)
+               << "\" with {";
+            for (int idx : pick) os << insts[static_cast<std::size_t>(idx)].to_string() << " ";
+            os << "}; ";
+            notes += os.str();
+            return k;
+          }
+        }
+
+        // Next k-combination of [0, m).
+        int pos = k - 1;
+        while (pos >= 0 && pick[static_cast<std::size_t>(pos)] == m - k + pos) --pos;
+        if (pos < 0) break;
+        ++pick[static_cast<std::size_t>(pos)];
+        for (int q = pos + 1; q < k; ++q) {
+          pick[static_cast<std::size_t>(q)] = pick[static_cast<std::size_t>(q - 1)] + 1;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+bool check_pair_free(const DataType& type, const std::vector<PoolEntry>& pool,
+                     const std::string& op, std::string& notes) {
+  for (const auto& entry : pool) {
+    const auto insts = instances_after(type, *entry.state, op);
+    for (const auto& op1 : insts) {
+      for (const auto& op2 : insts) {
+        // Note: op1 == op2 is allowed (e.g. two dequeues returning the same
+        // head); the definition only asks for "two instances".
+        if (apply_all_if_legal(*entry.state, {op1, op2}) != nullptr) continue;
+        if (apply_all_if_legal(*entry.state, {op2, op1}) != nullptr) continue;
+        notes += "pair-free witness: " + op1.to_string() + " / " + op2.to_string() +
+                 " after \"" + to_string(entry.seq) + "\"; ";
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Classification classify_op(const DataType& type, const std::string& op,
+                           const ClassifierOptions& opts) {
+  const auto pool = build_pool(type, opts.max_prefix_len);
+  Classification c;
+  c.op = op;
+  c.mutator = check_mutator(type, pool, op, c.notes);
+  c.accessor = check_accessor(type, pool, op, c.notes);
+  c.overwriter = c.mutator && check_overwriter(type, pool, op, c.notes);
+  c.transposable = check_transposable(type, pool, op, c.notes);
+  c.last_sensitive_k =
+      c.transposable ? check_last_sensitive(type, pool, op, opts.max_last_sensitive_k, c.notes)
+                     : 0;
+  c.pair_free = check_pair_free(type, pool, op, c.notes);
+  return c;
+}
+
+std::vector<Classification> classify_all(const DataType& type, const ClassifierOptions& opts) {
+  std::vector<Classification> out;
+  out.reserve(type.ops().size());
+  for (const auto& spec : type.ops()) out.push_back(classify_op(type, spec.name, opts));
+  return out;
+}
+
+std::optional<Discriminator> find_discriminator(const DataType& type, const Sequence& rho1,
+                                                const Sequence& rho2, const std::string& aop) {
+  auto s1 = run_sequence(type, rho1);
+  auto s2 = run_sequence(type, rho2);
+  if (s1 == nullptr || s2 == nullptr) return std::nullopt;
+  for (const auto& arg : type.sample_args(aop)) {
+    auto p1 = s1->clone();
+    auto p2 = s2->clone();
+    const Value r1 = p1->apply(aop, arg);
+    const Value r2 = p2->apply(aop, arg);
+    if (r1 != r2) return Discriminator{arg, r1, r2};
+  }
+  return std::nullopt;
+}
+
+std::optional<InterferenceWitness> find_interference_witness(const DataType& type,
+                                                             const std::string& op1,
+                                                             const std::string& op2,
+                                                             const ClassifierOptions& opts) {
+  const auto pool = build_pool(type, opts.max_prefix_len);
+  for (const auto& entry : pool) {
+    for (const auto& inst1 : instances_after(type, *entry.state, op1)) {
+      auto shifted = apply_if_legal(*entry.state, inst1);
+      for (const auto& arg2 : type.sample_args(op2)) {
+        auto before = entry.state->clone();
+        auto after = shifted->clone();
+        const Value ret_before = before->apply(op2, arg2);
+        const Value ret_after = after->apply(op2, arg2);
+        if (ret_before != ret_after) {
+          return InterferenceWitness{entry.seq, inst1, arg2, ret_before, ret_after};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Theorem5Witness> find_theorem5_witness(const DataType& type, const std::string& op,
+                                                     const std::string& aop,
+                                                     const ClassifierOptions& opts) {
+  const auto pool = build_pool(type, opts.max_prefix_len);
+  for (const auto& entry : pool) {
+    const auto insts = instances_after(type, *entry.state, op);
+    for (const auto& op0 : insts) {
+      for (const auto& op1 : insts) {
+        if (op0 == op1) continue;
+        // Both orders must be legal (OP transposable on this pair).
+        if (apply_all_if_legal(*entry.state, {op0, op1}) == nullptr) continue;
+        if (apply_all_if_legal(*entry.state, {op1, op0}) == nullptr) continue;
+
+        Sequence rho_op0 = entry.seq;
+        rho_op0.push_back(op0);
+        Sequence rho_op1 = entry.seq;
+        rho_op1.push_back(op1);
+        Sequence rho_op0_op1 = rho_op0;
+        rho_op0_op1.push_back(op1);
+        Sequence rho_op1_op0 = rho_op1;
+        rho_op1_op0.push_back(op0);
+
+        auto disc_a = find_discriminator(type, rho_op0, rho_op1_op0, aop);
+        if (!disc_a) continue;
+        auto disc_b = find_discriminator(type, rho_op1, rho_op0_op1, aop);
+        if (!disc_b) continue;
+        auto disc_c = find_discriminator(type, rho_op0_op1, rho_op1, aop);
+        if (!disc_c) continue;
+        return Theorem5Witness{entry.seq, op0, op1, *disc_a, *disc_b, *disc_c};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lintime::adt

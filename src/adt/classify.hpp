@@ -1,0 +1,122 @@
+#pragma once
+// Empirical classifier for the paper's algebraic taxonomy (Sections 2.1,
+// 3.2 and 4.2): mutator, accessor, pure mutator/accessor, overwriter,
+// transposable, last-sensitive, pair-free -- decided by bounded exhaustive
+// search over the data type's reachable states and sample instances.
+//
+// Existential properties (mutator, accessor, last-sensitive, pair-free) are
+// certified by an explicit witness; a `true` verdict is sound.  Universal
+// properties (overwriter, transposable) are checked for counterexamples over
+// the bounded pool; a `false` verdict is sound (we report the
+// counterexample), while `true` means "no counterexample within the bound".
+// For every type shipped in this library the bounds are large enough that
+// the verdicts coincide with pen-and-paper classification; the unit tests in
+// tests/adt/classify_test.cpp pin all of them.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+/// Search bounds for the classifier.
+struct ClassifierOptions {
+  int max_prefix_len = 3;       ///< BFS depth for candidate prefixes rho
+  int max_last_sensitive_k = 4; ///< largest k tried for last-sensitivity
+};
+
+/// Result of classifying one operation.
+struct Classification {
+  std::string op;
+
+  bool mutator = false;
+  bool accessor = false;
+  bool overwriter = false;    ///< only meaningful when mutator
+  bool transposable = false;
+  int last_sensitive_k = 0;   ///< largest k <= bound with a witness (0: none)
+  bool pair_free = false;
+
+  [[nodiscard]] bool pure_mutator() const { return mutator && !accessor; }
+  [[nodiscard]] bool pure_accessor() const { return accessor && !mutator; }
+  [[nodiscard]] bool mixed() const { return accessor && mutator; }
+
+  /// The AOP/MOP/OOP category implied by the empirical verdicts.
+  [[nodiscard]] OpCategory implied_category() const {
+    if (pure_accessor()) return OpCategory::kPureAccessor;
+    if (pure_mutator()) return OpCategory::kPureMutator;
+    return OpCategory::kMixed;
+  }
+
+  /// Human-readable witness / counterexample notes for reports.
+  std::string notes;
+};
+
+/// Classifies operation `op` of `type`.
+[[nodiscard]] Classification classify_op(const DataType& type, const std::string& op,
+                                         const ClassifierOptions& opts = {});
+
+/// Classifies every operation of `type`.
+[[nodiscard]] std::vector<Classification> classify_all(const DataType& type,
+                                                       const ClassifierOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Theorem 5 preconditions: discriminators.
+// ---------------------------------------------------------------------------
+
+/// A discriminator (Section 4.3): a pair of AOP instances with the same
+/// argument but different return values telling two sequences apart.
+struct Discriminator {
+  Value arg;
+  Value ret1;  ///< legal return after rho1
+  Value ret2;  ///< legal return after rho2 (!= ret1)
+};
+
+/// Searches `aop`'s sample arguments for a discriminator between two legal
+/// sequences.
+[[nodiscard]] std::optional<Discriminator> find_discriminator(const DataType& type,
+                                                              const Sequence& rho1,
+                                                              const Sequence& rho2,
+                                                              const std::string& aop);
+
+/// A witness that (OP, AOP) satisfies the hypotheses of Theorem 5.
+struct Theorem5Witness {
+  Sequence rho;
+  Instance op0;
+  Instance op1;
+  Discriminator disc_a;  ///< for (rho.op0, rho.op1.op0)
+  Discriminator disc_b;  ///< for (rho.op1, rho.op0.op1)
+  Discriminator disc_c;  ///< for (rho.op0.op1, rho.op1)
+};
+
+/// Searches for a Theorem 5 witness: a prefix rho and two distinct legal
+/// instances of `op` such that `aop` discriminates all three sequence pairs
+/// required by the theorem.  Returns nullopt if no witness exists within the
+/// bounds (e.g. stack push/peek, where peek depends only on the last push).
+[[nodiscard]] std::optional<Theorem5Witness> find_theorem5_witness(
+    const DataType& type, const std::string& op, const std::string& aop,
+    const ClassifierOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Interference (Section 6.1): the generalized Lipton-Sandberg sum bound.
+// ---------------------------------------------------------------------------
+
+/// A witness that OP1 "interferes with" OP2: a prefix rho and instances
+/// op1 of OP1 and op2 of OP2 such that op2's legal return value after rho
+/// differs from its return value after rho.op1 (so op2 must learn about op1
+/// to answer correctly, forcing |OP1| + |OP2| >= d).
+struct InterferenceWitness {
+  Sequence rho;
+  Instance op1;      ///< the mutating instance
+  Value arg2;        ///< op2's argument
+  Value ret_before;  ///< op2's return after rho
+  Value ret_after;   ///< op2's return after rho.op1 (!= ret_before)
+};
+
+/// Searches for an interference witness for the ordered pair (op1, op2).
+[[nodiscard]] std::optional<InterferenceWitness> find_interference_witness(
+    const DataType& type, const std::string& op1, const std::string& op2,
+    const ClassifierOptions& opts = {});
+
+}  // namespace lintime::adt

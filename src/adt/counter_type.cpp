@@ -1,0 +1,48 @@
+#include "adt/counter_type.hpp"
+
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class CounterState final : public StateBase<CounterState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == CounterType::kInc) {
+      value_ += arg.as_int();
+      return Value::nil();
+    }
+    if (op == CounterType::kRead) return Value{value_};
+    if (op == CounterType::kFetchInc) {
+      const std::int64_t old = value_;
+      ++value_;
+      return Value{old};
+    }
+    throw std::invalid_argument("counter: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override { return "ctr:" + std::to_string(value_); }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& CounterType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kInc, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {kFetchInc, OpCategory::kMixed, /*takes_arg=*/false},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> CounterType::make_initial_state() const {
+  return std::make_unique<CounterState>();
+}
+
+}  // namespace lintime::adt

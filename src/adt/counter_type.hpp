@@ -1,0 +1,30 @@
+#pragma once
+// Shared counter -- second contrast case: its pure mutator is commutative
+// (increments), and fetch_inc is a pair-free mixed operation, making the
+// counter the minimal type exercising both ends of the taxonomy.
+//
+// Operations:
+//   inc(k)      -> nil, adds k             (pure mutator, commutative)
+//   read()      -> current value           (pure accessor)
+//   fetch_inc() -> old value, adds 1       (mixed, pair-free)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class CounterType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "counter"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kInc = "inc";
+  static constexpr const char* kRead = "read";
+  static constexpr const char* kFetchInc = "fetch_inc";
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,73 @@
+#include "adt/deque_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class DequeState final : public StateBase<DequeState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == DequeType::kPushFront) {
+      items_.push_front(arg.as_int());
+      return Value::nil();
+    }
+    if (op == DequeType::kPushBack) {
+      items_.push_back(arg.as_int());
+      return Value::nil();
+    }
+    if (op == DequeType::kPopFront) {
+      if (items_.empty()) return Value::nil();
+      const std::int64_t v = items_.front();
+      items_.pop_front();
+      return Value{v};
+    }
+    if (op == DequeType::kPopBack) {
+      if (items_.empty()) return Value::nil();
+      const std::int64_t v = items_.back();
+      items_.pop_back();
+      return Value{v};
+    }
+    if (op == DequeType::kFront) {
+      return items_.empty() ? Value::nil() : Value{items_.front()};
+    }
+    if (op == DequeType::kBack) {
+      return items_.empty() ? Value::nil() : Value{items_.back()};
+    }
+    throw std::invalid_argument("deque: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "deque:";
+    for (const auto v : items_) os << v << ',';
+    return os.str();
+  }
+
+ private:
+  std::deque<std::int64_t> items_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& DequeType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kPushFront, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kPushBack, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kPopFront, OpCategory::kMixed, /*takes_arg=*/false},
+      {kPopBack, OpCategory::kMixed, /*takes_arg=*/false},
+      {kFront, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {kBack, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> DequeType::make_initial_state() const {
+  return std::make_unique<DequeState>();
+}
+
+}  // namespace lintime::adt

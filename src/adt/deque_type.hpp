@@ -1,0 +1,36 @@
+#pragma once
+// Double-ended queue: both of the paper's Table 2/3 objects in one.  The
+// taxonomy is richer than either: push_back+front behaves like the queue's
+// enqueue+peek (Theorem 5 discriminators exist), while push_front+front
+// behaves like the stack's push+peek (they do not) -- the SAME accessor
+// satisfies Theorem 5's hypotheses with one mutator and not the other.
+//
+// Operations:
+//   push_front(v), push_back(v) -> nil     (pure mutators, last-sensitive)
+//   pop_front(), pop_back() -> end value   (mixed, pair-free)
+//   front(), back() -> end value           (pure accessors)
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class DequeType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "deque"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kPushFront = "push_front";
+  static constexpr const char* kPushBack = "push_back";
+  static constexpr const char* kPopFront = "pop_front";
+  static constexpr const char* kPopBack = "pop_back";
+  static constexpr const char* kFront = "front";
+  static constexpr const char* kBack = "back";
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,47 @@
+#include "adt/max_register_type.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class MaxRegisterState final : public StateBase<MaxRegisterState> {
+ public:
+  explicit MaxRegisterState(std::int64_t v) : value_(v) {}
+
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == MaxRegisterType::kWriteMax) {
+      value_ = std::max(value_, arg.as_int());
+      return Value::nil();
+    }
+    if (op == MaxRegisterType::kRead) return Value{value_};
+    throw std::invalid_argument("max_register: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    return "maxreg:" + std::to_string(value_);
+  }
+
+ private:
+  std::int64_t value_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& MaxRegisterType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kWriteMax, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> MaxRegisterType::make_initial_state() const {
+  return std::make_unique<MaxRegisterState>(initial_);
+}
+
+}  // namespace lintime::adt

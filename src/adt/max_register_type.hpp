@@ -1,0 +1,37 @@
+#pragma once
+// Max-register: a register whose write keeps the maximum of the old and new
+// values.  Third contrast case for the taxonomy: write_max is a pure mutator
+// that is transposable AND fully commutative-idempotent, hence NOT
+// last-sensitive (Theorem 3 inapplicable) and NOT an overwriter -- unlike the
+// ordinary register's write, it escapes the (1-1/n)u bound's hypotheses.
+// (Max registers are a classic object in distributed computing; they also
+// show that "write-like" syntax does not imply write-like lower bounds.)
+//
+// Operations:
+//   write_max(v) -> nil        (pure mutator, commutative, idempotent)
+//   read()       -> maximum    (pure accessor)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class MaxRegisterType final : public DataType {
+ public:
+  explicit MaxRegisterType(std::int64_t initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "max_register"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kWriteMax = "write_max";
+  static constexpr const char* kRead = "read";
+
+ private:
+  std::int64_t initial_;
+};
+
+}  // namespace lintime::adt

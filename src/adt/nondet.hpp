@@ -1,0 +1,48 @@
+#pragma once
+// Non-deterministic data types -- the paper's future-work direction
+// (Section 6.2): "a Set data type could support the extraction of an
+// arbitrary element".
+//
+// A non-deterministic type relaxes the Determinism constraint of
+// Section 2.1: after a legal sequence, an invocation may have SEVERAL legal
+// (return value, successor state) outcomes.  Implementations still have to
+// pick one (replicas resolve the choice deterministically so they agree; see
+// adt/pool_type.hpp), but correctness is judged against the relaxed
+// specification by lin/nondet_checker.hpp, which accepts any history
+// explainable by SOME resolution of the choices.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "adt/op.hpp"
+#include "adt/value.hpp"
+
+namespace lintime::adt {
+
+/// One legal outcome of an invocation: its return value and the state that
+/// results.
+struct Outcome {
+  Value ret;
+  std::unique_ptr<ObjectState> state;
+};
+
+/// Specification of a non-deterministic data type.  `outcomes` enumerates
+/// every legal outcome; Completeness requires at least one for every
+/// invocation from every reachable state.
+class NondetDataType {
+ public:
+  virtual ~NondetDataType() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual const std::vector<OpSpec>& ops() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<ObjectState> make_initial_state() const = 0;
+
+  /// All legal outcomes of (op, arg) from `state` (`state` is not mutated).
+  [[nodiscard]] virtual std::vector<Outcome> outcomes(const ObjectState& state,
+                                                      const std::string& op,
+                                                      const Value& arg) const = 0;
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,64 @@
+#pragma once
+// Operation metadata: names, declared classification, and operation
+// instances (invocation + response pairs) as defined in Section 2.1 of the
+// paper.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adt/value.hpp"
+
+namespace lintime::adt {
+
+/// The coarse classification used by Algorithm 1 (Section 5.1): every
+/// operation of every type is a pure accessor (AOP), a pure mutator (MOP) or
+/// both accessor and mutator (OOP, "other"/mixed).
+enum class OpCategory {
+  kPureAccessor,  ///< observes but never changes the state (e.g. Read, Peek)
+  kPureMutator,   ///< changes but never observes the state (e.g. Write, Enqueue)
+  kMixed,         ///< both accessor and mutator (e.g. Read-Modify-Write, Dequeue)
+};
+
+[[nodiscard]] constexpr const char* to_string(OpCategory c) {
+  switch (c) {
+    case OpCategory::kPureAccessor: return "AOP";
+    case OpCategory::kPureMutator: return "MOP";
+    case OpCategory::kMixed: return "OOP";
+  }
+  return "?";
+}
+
+/// Static description of one operation of a data type.
+struct OpSpec {
+  std::string name;     ///< e.g. "enqueue"
+  OpCategory category;  ///< declared AOP/MOP/OOP class (validated empirically
+                        ///< by the classifier in adt/classify.hpp)
+  bool takes_arg = false;  ///< whether the invocation carries an argument
+
+  [[nodiscard]] bool is_accessor() const { return category != OpCategory::kPureMutator; }
+  [[nodiscard]] bool is_mutator() const { return category != OpCategory::kPureAccessor; }
+};
+
+/// An operation *instance*: an invocation bundled with its matching response,
+/// written OP(arg, ret) in the paper.
+struct Instance {
+  std::string op;
+  Value arg;
+  Value ret;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.op == b.op && a.arg == b.arg && a.ret == b.ret;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return op + "(" + arg.to_string() + ", " + ret.to_string() + ")";
+  }
+};
+
+/// A sequence of operation instances (the paper's rho / pi).
+using Sequence = std::vector<Instance>;
+
+[[nodiscard]] std::string to_string(const Sequence& seq);
+
+}  // namespace lintime::adt

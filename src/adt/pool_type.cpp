@@ -1,0 +1,114 @@
+#include "adt/pool_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+/// Multiset of int64 values.  Shared by the deterministic type and the
+/// non-deterministic spec (whose outcomes clone and mutate it).
+class PoolState final : public StateBase<PoolState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == PoolType::kPut) {
+      ++items_[arg.as_int()];
+      return Value::nil();
+    }
+    if (op == PoolType::kTake) {
+      if (items_.empty()) return Value::nil();
+      // Deterministic resolution: remove the smallest element.
+      const auto it = items_.begin();
+      const std::int64_t v = it->first;
+      remove(v);
+      return Value{v};
+    }
+    if (op == PoolType::kSize) {
+      std::int64_t total = 0;
+      for (const auto& [v, count] : items_) total += count;
+      return Value{total};
+    }
+    throw std::invalid_argument("pool: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "pool:";
+    for (const auto& [v, count] : items_) os << v << 'x' << count << ',';
+    return os.str();
+  }
+
+  [[nodiscard]] const std::map<std::int64_t, int>& items() const { return items_; }
+
+  void remove(std::int64_t v) {
+    const auto it = items_.find(v);
+    if (it == items_.end()) throw std::logic_error("pool: removing absent element");
+    if (--it->second == 0) items_.erase(it);
+  }
+
+ private:
+  std::map<std::int64_t, int> items_;  // value -> multiplicity
+};
+
+const std::vector<OpSpec>& pool_ops() {
+  static const std::vector<OpSpec> kOps = {
+      {PoolType::kPut, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {PoolType::kTake, OpCategory::kMixed, /*takes_arg=*/false},
+      {PoolType::kSize, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  };
+  return kOps;
+}
+
+}  // namespace
+
+const std::vector<OpSpec>& PoolType::ops() const { return pool_ops(); }
+
+std::unique_ptr<ObjectState> PoolType::make_initial_state() const {
+  return std::make_unique<PoolState>();
+}
+
+const std::vector<OpSpec>& PoolNondetSpec::ops() const { return pool_ops(); }
+
+std::unique_ptr<ObjectState> PoolNondetSpec::make_initial_state() const {
+  return std::make_unique<PoolState>();
+}
+
+std::vector<Outcome> PoolNondetSpec::outcomes(const ObjectState& state, const std::string& op,
+                                              const Value& arg) const {
+  const auto& pool = dynamic_cast<const PoolState&>(state);
+  std::vector<Outcome> out;
+
+  if (op == PoolType::kTake) {
+    if (pool.items().empty()) {
+      Outcome o;
+      o.ret = Value::nil();
+      o.state = state.clone();
+      out.push_back(std::move(o));
+      return out;
+    }
+    // One outcome per distinct element: take may remove any of them.
+    for (const auto& [v, count] : pool.items()) {
+      (void)count;
+      Outcome o;
+      o.ret = Value{v};
+      auto next = state.clone();
+      dynamic_cast<PoolState&>(*next).remove(v);
+      o.state = std::move(next);
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  // put and size are deterministic.
+  Outcome o;
+  auto next = state.clone();
+  o.ret = next->apply(op, arg);
+  o.state = std::move(next);
+  out.push_back(std::move(o));
+  return out;
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,48 @@
+#pragma once
+// Pool (bag): the concrete non-deterministic type of the paper's future-work
+// discussion.  Operations:
+//   put(v)  -> nil                          (pure mutator, commutative)
+//   take()  -> SOME element, removed;       (mixed; non-deterministic in the
+//              nil if empty                  spec, resolved to the smallest
+//                                            element in the implementation)
+//   size()  -> multiset cardinality         (pure accessor)
+//
+// Two views of the same object:
+//   * PoolType       -- a plain (deterministic) DataType whose take() removes
+//     the smallest element.  This is the resolution every replica applies,
+//     so Algorithm 1 runs it unchanged and replicas agree.
+//   * PoolNondetSpec -- the relaxed NondetDataType under which take() may
+//     remove any element.  The non-deterministic checker validates runs
+//     against this spec; every run correct under PoolType is correct under
+//     the spec, but the spec also admits behaviours no deterministic
+//     resolution could produce -- the freedom the paper conjectures could be
+//     traded for speed.
+
+#include <map>
+
+#include "adt/data_type.hpp"
+#include "adt/nondet.hpp"
+
+namespace lintime::adt {
+
+class PoolType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "pool"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kPut = "put";
+  static constexpr const char* kTake = "take";
+  static constexpr const char* kSize = "size";
+};
+
+class PoolNondetSpec final : public NondetDataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "pool/nondet"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  [[nodiscard]] std::vector<Outcome> outcomes(const ObjectState& state, const std::string& op,
+                                              const Value& arg) const override;
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,58 @@
+#include "adt/queue_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class QueueState final : public StateBase<QueueState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == QueueType::kEnqueue) {
+      items_.push_back(arg.as_int());
+      return Value::nil();
+    }
+    if (op == QueueType::kDequeue) {
+      if (items_.empty()) return Value::nil();
+      const std::int64_t head = items_.front();
+      items_.pop_front();
+      return Value{head};
+    }
+    if (op == QueueType::kPeek) {
+      if (items_.empty()) return Value::nil();
+      return Value{items_.front()};
+    }
+    throw std::invalid_argument("queue: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "queue:";
+    for (const auto v : items_) os << v << ',';
+    return os.str();
+  }
+
+ private:
+  std::deque<std::int64_t> items_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& QueueType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kEnqueue, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kDequeue, OpCategory::kMixed, /*takes_arg=*/false},
+      {kPeek, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> QueueType::make_initial_state() const {
+  return std::make_unique<QueueState>();
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,33 @@
+#pragma once
+// FIFO queue (Table 2 of the paper).
+//
+// Operations:
+//   enqueue(v) -> nil                         (pure mutator, transposable,
+//                                              last-sensitive)
+//   dequeue()  -> head, removed; nil if empty (mixed, pair-free)
+//   peek()     -> head; nil if empty          (pure accessor)
+//
+// The enqueue/peek pair satisfies the discriminator preconditions of
+// Theorem 5 (the paper uses exactly this pair as its example).
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class QueueType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "queue"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kEnqueue = "enqueue";
+  static constexpr const char* kDequeue = "dequeue";
+  static constexpr const char* kPeek = "peek";
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,44 @@
+#include "adt/register_type.hpp"
+
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class RegisterState final : public StateBase<RegisterState> {
+ public:
+  explicit RegisterState(std::int64_t v) : value_(v) {}
+
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == RegisterType::kRead) return Value{value_};
+    if (op == RegisterType::kWrite) {
+      value_ = arg.as_int();
+      return Value::nil();
+    }
+    throw std::invalid_argument("register: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override { return "reg:" + std::to_string(value_); }
+
+ private:
+  std::int64_t value_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& RegisterType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {kWrite, OpCategory::kPureMutator, /*takes_arg=*/true},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> RegisterType::make_initial_state() const {
+  return std::make_unique<RegisterState>(initial_);
+}
+
+}  // namespace lintime::adt

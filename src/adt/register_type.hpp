@@ -1,0 +1,33 @@
+#pragma once
+// Read/write register over 64-bit integers (Section 2.1's running example).
+//
+// Operations:
+//   read()   -> current value                (pure accessor)
+//   write(v) -> nil, sets value to v         (pure mutator, overwriter,
+//                                             transposable, last-sensitive)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class RegisterType final : public DataType {
+ public:
+  /// `initial` is the register's initial value v0.
+  explicit RegisterType(std::int64_t initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "register"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kRead = "read";
+  static constexpr const char* kWrite = "write";
+
+ private:
+  std::int64_t initial_;
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,56 @@
+#include "adt/rmw_register_type.hpp"
+
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class RmwRegisterState final : public StateBase<RmwRegisterState> {
+ public:
+  explicit RmwRegisterState(std::int64_t v) : value_(v) {}
+
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == RmwRegisterType::kRead) return Value{value_};
+    if (op == RmwRegisterType::kWrite) {
+      value_ = arg.as_int();
+      return Value::nil();
+    }
+    if (op == RmwRegisterType::kFetchAdd) {
+      const std::int64_t old = value_;
+      value_ += arg.as_int();
+      return Value{old};
+    }
+    if (op == RmwRegisterType::kSwap) {
+      const std::int64_t old = value_;
+      value_ = arg.as_int();
+      return Value{old};
+    }
+    throw std::invalid_argument("rmw_register: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override { return "rmw:" + std::to_string(value_); }
+
+ private:
+  std::int64_t value_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& RmwRegisterType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {kWrite, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kFetchAdd, OpCategory::kMixed, /*takes_arg=*/true},
+      {kSwap, OpCategory::kMixed, /*takes_arg=*/true},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> RmwRegisterType::make_initial_state() const {
+  return std::make_unique<RmwRegisterState>(initial_);
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,40 @@
+#pragma once
+// Read-Modify-Write register (Table 1 of the paper).
+//
+// Operations:
+//   read()       -> current value                       (pure accessor)
+//   write(v)     -> nil, sets value                     (pure mutator)
+//   fetch_add(k) -> old value, sets old+k               (mixed, pair-free)
+//   swap(v)      -> old value, sets v                   (mixed, pair-free,
+//                                                        overwriting mutator)
+//
+// fetch_add and swap are the "atomic mutator/accessor Read-Modify-Write"
+// operations the paper's Table 1 proves the d + min{eps, u, d/3} lower bound
+// for (Theorem 4) and the d + eps upper bound for (Algorithm 1, OOP class).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class RmwRegisterType final : public DataType {
+ public:
+  explicit RmwRegisterType(std::int64_t initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "rmw_register"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kRead = "read";
+  static constexpr const char* kWrite = "write";
+  static constexpr const char* kFetchAdd = "fetch_add";
+  static constexpr const char* kSwap = "swap";
+
+ private:
+  std::int64_t initial_;
+};
+
+}  // namespace lintime::adt

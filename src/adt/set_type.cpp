@@ -1,0 +1,65 @@
+#include "adt/set_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class SetState final : public StateBase<SetState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == SetType::kAdd) {
+      items_.insert(arg.as_int());
+      return Value::nil();
+    }
+    if (op == SetType::kErase) {
+      items_.erase(arg.as_int());
+      return Value::nil();
+    }
+    if (op == SetType::kContains) {
+      return Value{items_.contains(arg.as_int()) ? 1 : 0};
+    }
+    if (op == SetType::kSize) {
+      return Value{static_cast<std::int64_t>(items_.size())};
+    }
+    if (op == SetType::kAddIfAbsent) {
+      const auto [it, inserted] = items_.insert(arg.as_int());
+      (void)it;
+      return Value{inserted ? 1 : 0};
+    }
+    throw std::invalid_argument("set: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "set:";
+    for (const auto v : items_) os << v << ',';
+    return os.str();
+  }
+
+ private:
+  std::set<std::int64_t> items_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& SetType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kAdd, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kErase, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kContains, OpCategory::kPureAccessor, /*takes_arg=*/true},
+      {kSize, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {kAddIfAbsent, OpCategory::kMixed, /*takes_arg=*/true},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> SetType::make_initial_state() const {
+  return std::make_unique<SetState>();
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,36 @@
+#pragma once
+// Integer set -- an extra type beyond the paper's tables, included because
+// its mutators are *commutative* (add/remove of distinct elements), making it
+// a contrast case for the taxonomy: add is transposable but NOT
+// last-sensitive, so Theorem 3 does not apply and only the generic bounds do.
+//
+// Operations:
+//   add(v)      -> nil                    (pure mutator, commutative)
+//   erase(v)    -> nil                    (pure mutator, commutative)
+//   contains(v) -> 0/1                    (pure accessor)
+//   size()      -> cardinality            (pure accessor)
+//   add_if_absent(v) -> 1 if inserted, 0 if already present   (mixed)
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class SetType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "set"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kAdd = "add";
+  static constexpr const char* kErase = "erase";
+  static constexpr const char* kContains = "contains";
+  static constexpr const char* kSize = "size";
+  static constexpr const char* kAddIfAbsent = "add_if_absent";
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,58 @@
+#include "adt/stack_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class StackState final : public StateBase<StackState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == StackType::kPush) {
+      items_.push_back(arg.as_int());
+      return Value::nil();
+    }
+    if (op == StackType::kPop) {
+      if (items_.empty()) return Value::nil();
+      const std::int64_t top = items_.back();
+      items_.pop_back();
+      return Value{top};
+    }
+    if (op == StackType::kPeek) {
+      if (items_.empty()) return Value::nil();
+      return Value{items_.back()};
+    }
+    throw std::invalid_argument("stack: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "stack:";
+    for (const auto v : items_) os << v << ',';
+    return os.str();
+  }
+
+ private:
+  std::vector<std::int64_t> items_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& StackType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kPush, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kPop, OpCategory::kMixed, /*takes_arg=*/false},
+      {kPeek, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> StackType::make_initial_state() const {
+  return std::make_unique<StackState>();
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,33 @@
+#pragma once
+// LIFO stack (Table 3 of the paper).
+//
+// Operations:
+//   push(v) -> nil                            (pure mutator, transposable,
+//                                              last-sensitive)
+//   pop()   -> top, removed; nil if empty     (mixed, pair-free)
+//   peek()  -> top; nil if empty              (pure accessor)
+//
+// Unlike the queue, push/peek does NOT satisfy Theorem 5's discriminator
+// preconditions: in a push/peek-only run, peek depends solely on the last
+// push, as if push were an overwriter (see the discussion before Theorem 5).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class StackType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "stack"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+
+  static constexpr const char* kPush = "push";
+  static constexpr const char* kPop = "pop";
+  static constexpr const char* kPeek = "peek";
+};
+
+}  // namespace lintime::adt

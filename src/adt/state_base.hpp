@@ -1,0 +1,19 @@
+#pragma once
+// CRTP helper providing ObjectState::clone via the copy constructor, so each
+// concrete state only implements apply() and canonical().
+
+#include <memory>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+template <typename Derived>
+class StateBase : public ObjectState {
+ public:
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace lintime::adt

@@ -1,0 +1,119 @@
+#include "adt/tree_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+class TreeState final : public StateBase<TreeState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    if (op == TreeType::kInsert) return attach(arg, /*reparent=*/false);
+    if (op == TreeType::kMove) return attach(arg, /*reparent=*/true);
+    if (op == TreeType::kRemove) return remove(arg);
+    if (op == TreeType::kDepth) return Value{depth_of(arg.as_int())};
+    if (op == TreeType::kParent) return Value{parent_of(arg.as_int())};
+    throw std::invalid_argument("tree: unknown op " + op);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "tree:";
+    for (const auto& [child, parent] : parent_) os << child << "<-" << parent << ',';
+    return os.str();
+  }
+
+ private:
+  Value attach(const Value& arg, bool reparent) {
+    if (!arg.is_vec()) return Value::nil();
+    const auto& vec = arg.as_vec();
+    if (vec.size() != 2 || !vec[0].is_int() || !vec[1].is_int()) return Value::nil();
+    const std::int64_t p = vec[0].as_int();
+    const std::int64_t c = vec[1].as_int();
+    if (c == TreeType::kRoot || !present(p)) return Value::nil();
+    if (!reparent && present(c)) return Value::nil();  // first-wins insert
+    // Reject attaching a node under itself or its own descendant, which
+    // would create a cycle.
+    for (std::int64_t a = p; a != TreeType::kRoot; a = parent_.at(a)) {
+      if (a == c) return Value::nil();
+    }
+    parent_[c] = p;
+    return Value::nil();
+  }
+
+  Value remove(const Value& arg) {
+    if (!arg.is_int()) return Value::nil();
+    const std::int64_t c = arg.as_int();
+    if (c == TreeType::kRoot || !present(c) || has_children(c)) return Value::nil();
+    parent_.erase(c);
+    return Value::nil();
+  }
+
+  [[nodiscard]] bool present(std::int64_t node) const {
+    return node == TreeType::kRoot || parent_.contains(node);
+  }
+
+  [[nodiscard]] bool has_children(std::int64_t node) const {
+    for (const auto& [child, parent] : parent_) {
+      (void)child;
+      if (parent == node) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t depth_of(std::int64_t node) const {
+    if (!present(node)) return -1;
+    std::int64_t depth = 0;
+    for (std::int64_t a = node; a != TreeType::kRoot; a = parent_.at(a)) ++depth;
+    return depth;
+  }
+
+  [[nodiscard]] std::int64_t parent_of(std::int64_t node) const {
+    if (node == TreeType::kRoot || !present(node)) return -1;
+    return parent_.at(node);
+  }
+
+  std::map<std::int64_t, std::int64_t> parent_;  // child -> parent
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& TreeType::ops() const {
+  static const std::vector<OpSpec> kOps = {
+      {kInsert, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kMove, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kRemove, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {kDepth, OpCategory::kPureAccessor, /*takes_arg=*/true},
+      {kParent, OpCategory::kPureAccessor, /*takes_arg=*/true},
+  };
+  return kOps;
+}
+
+std::unique_ptr<ObjectState> TreeType::make_initial_state() const {
+  return std::make_unique<TreeState>();
+}
+
+std::vector<Value> TreeType::sample_args(const std::string& op) const {
+  if (op == kInsert) {
+    // Edges that can form chains plus competing parents for the same child,
+    // so the classifier can exhibit first-wins discriminators.
+    return {edge(0, 1), edge(1, 2), edge(0, 3), edge(1, 3), edge(2, 3)};
+  }
+  if (op == kMove) {
+    // Moves of one child (4) under parents at distinct depths (assuming a
+    // chain 0->1->2->3 built by insert), exhibiting k-wise last-sensitivity;
+    // plus a move of a second child (5) so the Theorem 5 witness search can
+    // pair moves of distinct children.
+    return {edge(0, 4), edge(1, 4), edge(2, 4), edge(3, 4), edge(0, 5)};
+  }
+  // depth / parent / remove probe the whole small node universe, including
+  // node 5 (reachable only via move), so discriminator searches can tell
+  // states apart by any node's position.
+  return {Value{0}, Value{1}, Value{2}, Value{3}, Value{4}, Value{5}};
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,66 @@
+#pragma once
+// Simple rooted tree (Table 4 of the paper).
+//
+// Nodes are integer ids; node 0 is the root and always present.
+//
+// Operations:
+//   insert([p, c]) -> nil   (pure mutator) First-wins attach: if p is
+//                           present and c is absent (and c != 0), attach c
+//                           as a child of p; otherwise no-op.  Always
+//                           returns nil.  With first-wins semantics,
+//                           insert+depth satisfies Theorem 5's discriminator
+//                           preconditions (attaching the same node under
+//                           parents of different depths: whichever insert is
+//                           linearized first determines the node's depth).
+//   move([p, c])   -> nil   (pure mutator) Last-wins re-parent: if p is
+//                           present, c != 0 and c is not an ancestor of p,
+//                           (re)attach c under p; otherwise no-op.  Always
+//                           returns nil.  Last-wins semantics makes move
+//                           last-sensitive for arbitrarily large k (the last
+//                           of k moves of the same node determines its
+//                           depth), instantiating Theorem 3 at k = n.
+//   remove(c)      -> nil   (pure mutator) If c is a present leaf and not
+//                           the root, remove it; otherwise no-op.  Always
+//                           returns nil.  Leaf-removal is last-sensitive
+//                           with k = 2 (removing a parent succeeds only
+//                           after removing its only child).
+//   depth(c)       -> depth of c, or -1 if absent    (pure accessor)
+//   parent(c)      -> parent id of c; -1 if absent or root (pure accessor)
+//
+// The paper leaves the tree's exact sequential specification open.  The two
+// insert flavours above cover both algebraic properties its Table 4 relies
+// on; the empirical classifier (adt/classify.hpp) certifies which property
+// each operation actually has, and EXPERIMENTS.md records the mapping onto
+// the paper's rows.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class TreeType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "tree"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  [[nodiscard]] std::vector<Value> sample_args(const std::string& op) const override;
+
+  static constexpr const char* kInsert = "insert";
+  static constexpr const char* kMove = "move";
+  static constexpr const char* kRemove = "remove";
+  static constexpr const char* kDepth = "depth";
+  static constexpr const char* kParent = "parent";
+
+  static constexpr std::int64_t kRoot = 0;
+
+  /// Convenience: builds the [parent, child] argument for insert/move.
+  static Value edge(std::int64_t parent, std::int64_t child) {
+    return Value{ValueVec{Value{parent}, Value{child}}};
+  }
+};
+
+}  // namespace lintime::adt

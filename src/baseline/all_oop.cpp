@@ -1,0 +1,9 @@
+#include "baseline/all_oop.hpp"
+
+namespace lintime::baseline {
+
+AllMixedDataType::AllMixedDataType(const adt::DataType& inner) : inner_(inner), ops_(inner.ops()) {
+  for (auto& spec : ops_) spec.category = adt::OpCategory::kMixed;
+}
+
+}  // namespace lintime::baseline

@@ -1,0 +1,36 @@
+#pragma once
+// "All-OOP" baseline: Algorithm 1 run with every operation treated as a
+// mixed operation (timestamp-ordered total-order broadcast).  This is the
+// natural skew-aware broadcast implementation a designer would write without
+// the paper's per-class specialization: every operation costs d + eps.
+// Comparing it against the real Algorithm 1 isolates the benefit of the
+// AOP/MOP fast paths.
+
+#include <memory>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::baseline {
+
+/// Decorator that forwards to an inner data type but reports every operation
+/// as category kMixed.
+class AllMixedDataType final : public adt::DataType {
+ public:
+  explicit AllMixedDataType(const adt::DataType& inner);
+
+  [[nodiscard]] std::string name() const override { return inner_.name() + "/all-mixed"; }
+  [[nodiscard]] const std::vector<adt::OpSpec>& ops() const override { return ops_; }
+  [[nodiscard]] std::unique_ptr<adt::ObjectState> make_initial_state() const override {
+    return inner_.make_initial_state();
+  }
+  [[nodiscard]] std::vector<adt::Value> sample_args(const std::string& op) const override {
+    return inner_.sample_args(op);
+  }
+
+ private:
+  const adt::DataType& inner_;
+  std::vector<adt::OpSpec> ops_;
+};
+
+}  // namespace lintime::baseline

@@ -1,0 +1,41 @@
+#include "baseline/centralized.hpp"
+
+#include <stdexcept>
+
+namespace lintime::baseline {
+
+using adt::Value;
+
+CentralizedProcess::CentralizedProcess(const adt::DataType& type, sim::ProcId self)
+    : type_(type), self_(self) {
+  if (self_ == kCoordinator) state_ = type_.make_initial_state();
+}
+
+void CentralizedProcess::on_invoke(sim::Context& ctx, const std::string& op, const Value& arg) {
+  if (self_ == kCoordinator) {
+    // Local invocation: apply directly; the coordinator's copy is the truth.
+    ctx.respond(state_->apply(op, arg));
+    return;
+  }
+  ctx.send(kCoordinator, CentralRequest{op, arg, next_request_id_++});
+}
+
+void CentralizedProcess::on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) {
+  if (self_ == kCoordinator) {
+    const auto& req = std::any_cast<const CentralRequest&>(payload);
+    ctx.send(src, CentralReply{state_->apply(req.op, req.arg), req.request_id});
+    return;
+  }
+  const auto& reply = std::any_cast<const CentralReply&>(payload);
+  ctx.respond(reply.ret);
+}
+
+void CentralizedProcess::on_timer(sim::Context&, sim::TimerId, const std::any&) {
+  throw std::logic_error("centralized baseline sets no timers");
+}
+
+std::string CentralizedProcess::state_canonical() const {
+  return state_ ? state_->canonical() : std::string("(replica-less)");
+}
+
+}  // namespace lintime::baseline

@@ -1,0 +1,53 @@
+#pragma once
+// The folklore centralized algorithm (Section 1): every invocation is
+// forwarded to a distinguished coordinator process (p0), which applies it to
+// the single authoritative copy and sends the result back.  Linearization
+// order = application order at the coordinator.  Worst-case time per
+// operation: 2d (one request message + one reply message); operations
+// invoked at the coordinator itself complete immediately.
+//
+// This is the baseline Algorithm 1 is measured against in every table bench.
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "adt/data_type.hpp"
+#include "sim/process.hpp"
+
+namespace lintime::baseline {
+
+/// Request forwarded to the coordinator.
+struct CentralRequest {
+  std::string op;
+  adt::Value arg;
+  std::uint64_t request_id = 0;
+};
+
+/// Reply from the coordinator.
+struct CentralReply {
+  adt::Value ret;
+  std::uint64_t request_id = 0;
+};
+
+class CentralizedProcess final : public sim::Process {
+ public:
+  static constexpr sim::ProcId kCoordinator = 0;
+
+  explicit CentralizedProcess(const adt::DataType& type, sim::ProcId self);
+
+  void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+
+  [[nodiscard]] std::string state_canonical() const;
+
+ private:
+  const adt::DataType& type_;
+  sim::ProcId self_;
+  std::unique_ptr<adt::ObjectState> state_;  ///< only used by the coordinator
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace lintime::baseline

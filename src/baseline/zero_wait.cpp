@@ -1,0 +1,26 @@
+#include "baseline/zero_wait.hpp"
+
+#include <stdexcept>
+
+namespace lintime::baseline {
+
+ZeroWaitProcess::ZeroWaitProcess(const adt::DataType& type)
+    : type_(type), state_(type.make_initial_state()) {}
+
+void ZeroWaitProcess::on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) {
+  if (type_.spec(op).is_mutator()) ctx.broadcast(ZeroWaitAnnounce{op, arg});
+  ctx.respond(state_->apply(op, arg));
+}
+
+void ZeroWaitProcess::on_message(sim::Context& ctx, sim::ProcId /*src*/,
+                                 const std::any& payload) {
+  (void)ctx;
+  const auto& announce = std::any_cast<const ZeroWaitAnnounce&>(payload);
+  state_->apply(announce.op, announce.arg);
+}
+
+void ZeroWaitProcess::on_timer(sim::Context&, sim::TimerId, const std::any&) {
+  throw std::logic_error("zero-wait baseline sets no timers");
+}
+
+}  // namespace lintime::baseline

@@ -1,0 +1,46 @@
+#pragma once
+// Lundelius-Lynch clock synchronization (the paper's reference [16]).
+//
+// The paper assumes clocks are pre-synchronized to within eps, and notes
+// (Sections 5 and 6.1) that the optimal achievable skew with delays in
+// [d-u, d] and no drift is eps = (1 - 1/n) u.  This module implements the
+// classic averaging algorithm that achieves it, so the assumption is itself
+// reproduced rather than stubbed:
+//
+//   * every process sends its local clock reading to every other process;
+//   * a receiver estimates the sender's offset relative to itself as
+//     (T_send_local + d - u/2) - T_recv_local, which has error at most u/2;
+//   * each process sets its logical clock to local + average of the n
+//     estimated differences (counting itself as 0).
+//
+// Averaging the +-u/2 errors over n processes leaves a worst-case pairwise
+// logical skew of (1 - 1/n) u, which is optimal [Lundelius-Lynch 1984].
+
+#include <memory>
+#include <vector>
+
+#include "sim/delay_model.hpp"
+#include "sim/model_params.hpp"
+
+namespace lintime::clocksync {
+
+struct SyncOutcome {
+  /// Logical-clock adjustment computed by each process (added to its local
+  /// clock).
+  std::vector<sim::Time> adjustments;
+  /// Resulting logical offsets (hardware offset + adjustment) per process.
+  std::vector<sim::Time> logical_offsets;
+  /// max_{i,j} |logical_i - logical_j|.
+  sim::Time achieved_skew = 0;
+  /// The (1 - 1/n) u optimum for reference.
+  sim::Time optimal_skew = 0;
+};
+
+/// Runs the synchronization round in the simulator with the given hardware
+/// clock offsets (arbitrary -- sync does not need a prior bound) and delay
+/// model.  Deterministic.
+[[nodiscard]] SyncOutcome synchronize(const sim::ModelParams& params,
+                                      const std::vector<sim::Time>& hardware_offsets,
+                                      std::shared_ptr<sim::DelayModel> delays);
+
+}  // namespace lintime::clocksync

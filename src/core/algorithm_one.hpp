@@ -1,0 +1,102 @@
+#pragma once
+// Algorithm 1 of the paper (Section 5.1): the timestamp-based linearizable
+// implementation of an arbitrary data type, with per-class response times
+//   pure accessors (AOP):  d - X
+//   pure mutators (MOP):   X + eps
+//   mixed ops     (OOP):   d + eps
+// where X in [0, d-eps] trades accessor speed against mutator speed.
+//
+// Each process keeps a local replica of the object plus the To_Execute
+// priority queue of announced-but-not-yet-executed mutators, ordered by
+// timestamp.  Mutators are broadcast on invocation, enter the queue d-u
+// after invocation (simulated locally at the invoker, via real messages at
+// everyone else), and execute u+eps after entering -- by which time no
+// mutator with a smaller timestamp can still be unknown.  Pure accessors are
+// never broadcast: they execute locally d-X after invocation with a
+// timestamp back-dated by X (line 2), which is exactly late enough to have
+// received every mutator that responded before the accessor was invoked.
+
+#include <any>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "core/timestamp.hpp"
+#include "core/timing_policy.hpp"
+#include "sim/process.hpp"
+
+namespace lintime::core {
+
+/// Wire format: announcement of a mutator invocation (line 15).
+struct OpAnnounce {
+  std::string op;
+  adt::Value arg;
+  Timestamp ts;
+};
+
+/// One locally executed operation, for invariant checks and debugging.
+struct ExecutedOp {
+  std::string op;
+  adt::Value arg;
+  adt::Value ret;
+  Timestamp ts;
+};
+
+class AlgorithmOneProcess final : public sim::Process {
+ public:
+  /// `type` must outlive the process.  `timing` is normally
+  /// TimingPolicy::standard(params, X); the lower-bound experiments pass
+  /// shortened timers.
+  AlgorithmOneProcess(const adt::DataType& type, TimingPolicy timing);
+
+  void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+
+  /// The mutators (and local accessors) executed on this replica, in
+  /// execution order.  Lemma 5's invariant -- mutators execute in increasing
+  /// timestamp order -- is checked in tests against this log.
+  [[nodiscard]] const std::vector<ExecutedOp>& executed() const { return executed_; }
+
+  /// Canonical encoding of the replica state (History Oblivion checks).
+  [[nodiscard]] std::string state_canonical() const { return state_->canonical(); }
+
+ private:
+  enum class TimerKind { kAopRespond, kMopRespond, kAdd, kExecute };
+
+  struct TimerData {
+    TimerKind kind;
+    std::string op;
+    adt::Value arg;
+    Timestamp ts;
+  };
+
+  struct QueueEntry {
+    std::string op;
+    adt::Value arg;
+    sim::TimerId execute_timer;
+  };
+
+  /// Lines 18-20: enter the mutator into To_Execute and start its settle
+  /// timer.
+  void add_to_queue(sim::Context& ctx, const std::string& op, const adt::Value& arg,
+                    const Timestamp& ts);
+
+  /// Lines 4-8 / 22-29: execute every queued mutator with timestamp <= ts,
+  /// in timestamp order, responding if one of them is our own pending OOP.
+  void drain_up_to(sim::Context& ctx, const Timestamp& ts);
+
+  /// Line 30-33: apply (op, arg) to the local replica.
+  adt::Value execute_locally(const std::string& op, const adt::Value& arg, const Timestamp& ts);
+
+  const adt::DataType& type_;
+  TimingPolicy timing_;
+  std::unique_ptr<adt::ObjectState> state_;
+  std::map<Timestamp, QueueEntry> to_execute_;
+  std::vector<ExecutedOp> executed_;
+  std::uint64_t next_ts_seq_ = 0;  ///< keeps own timestamps unique
+};
+
+}  // namespace lintime::core

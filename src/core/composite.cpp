@@ -1,0 +1,176 @@
+#include "core/composite.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lintime::core {
+
+namespace {
+
+/// Envelope tagging a sub-instance's message payload or timer data with the
+/// owning object's index.
+struct Tagged {
+  std::size_t object;
+  std::any inner;
+};
+
+}  // namespace
+
+QualifiedOp parse_qualified(const std::string& name) {
+  const auto colon = name.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument("composite: operation must be '<object>:<op>', got " + name);
+  }
+  return QualifiedOp{std::stoul(name.substr(0, colon)), name.substr(colon + 1)};
+}
+
+std::string qualify(std::size_t object, const std::string& op) {
+  return std::to_string(object) + ":" + op;
+}
+
+// ---------------------------------------------------------------------------
+// ProductType
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ProductState final : public adt::ObjectState {
+ public:
+  explicit ProductState(const std::vector<const adt::DataType*>& components) {
+    states_.reserve(components.size());
+    for (const auto* c : components) states_.push_back(c->make_initial_state());
+  }
+
+  ProductState(const ProductState& other) {
+    states_.reserve(other.states_.size());
+    for (const auto& s : other.states_) states_.push_back(s->clone());
+  }
+
+  adt::Value apply(const std::string& op, const adt::Value& arg) override {
+    const auto q = parse_qualified(op);
+    return states_.at(q.object)->apply(q.op, arg);
+  }
+
+  [[nodiscard]] std::unique_ptr<adt::ObjectState> clone() const override {
+    return std::make_unique<ProductState>(*this);
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      os << i << '{' << states_[i]->canonical() << '}';
+    }
+    return os.str();
+  }
+
+ private:
+  std::vector<std::unique_ptr<adt::ObjectState>> states_;
+};
+
+}  // namespace
+
+ProductType::ProductType(std::vector<const adt::DataType*> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) throw std::invalid_argument("ProductType: no components");
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    for (const auto& spec : components_[i]->ops()) {
+      adt::OpSpec qualified = spec;
+      qualified.name = qualify(i, spec.name);
+      ops_.push_back(std::move(qualified));
+    }
+  }
+}
+
+std::string ProductType::name() const {
+  std::ostringstream os;
+  os << "product(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << components_[i]->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::unique_ptr<adt::ObjectState> ProductType::make_initial_state() const {
+  return std::make_unique<ProductState>(components_);
+}
+
+std::vector<adt::Value> ProductType::sample_args(const std::string& op) const {
+  const auto q = parse_qualified(op);
+  return components_.at(q.object)->sample_args(q.op);
+}
+
+// ---------------------------------------------------------------------------
+// CompositeProcess
+// ---------------------------------------------------------------------------
+
+/// Context adapter: wraps outgoing messages and timer data in a Tagged
+/// envelope carrying the sub-instance's object index; everything else passes
+/// through to the real context.
+class CompositeProcess::SubContext final : public sim::Context {
+ public:
+  SubContext(sim::Context& outer, std::size_t object) : outer_(outer), object_(object) {}
+
+  [[nodiscard]] sim::ProcId self() const override { return outer_.self(); }
+  [[nodiscard]] int n() const override { return outer_.n(); }
+  [[nodiscard]] const sim::ModelParams& params() const override { return outer_.params(); }
+  [[nodiscard]] sim::Time local_time() const override { return outer_.local_time(); }
+
+  void send(sim::ProcId dst, std::any payload) override {
+    outer_.send(dst, Tagged{object_, std::move(payload)});
+  }
+  void broadcast(std::any payload) override {
+    outer_.broadcast(Tagged{object_, std::move(payload)});
+  }
+  sim::TimerId set_timer(sim::Time delay, std::any data) override {
+    return outer_.set_timer(delay, Tagged{object_, std::move(data)});
+  }
+  void cancel_timer(sim::TimerId id) override { outer_.cancel_timer(id); }
+  void respond(adt::Value ret) override { outer_.respond(std::move(ret)); }
+
+ private:
+  sim::Context& outer_;
+  std::size_t object_;
+};
+
+CompositeProcess::CompositeProcess(const ProductType& product, const TimingPolicy& timing)
+    : product_(product) {
+  instances_.reserve(product.components().size());
+  for (const auto* component : product.components()) {
+    instances_.push_back(std::make_unique<AlgorithmOneProcess>(*component, timing));
+  }
+}
+
+void CompositeProcess::on_invoke(sim::Context& ctx, const std::string& op,
+                                 const adt::Value& arg) {
+  const auto q = parse_qualified(op);
+  SubContext sub(ctx, q.object);
+  instances_.at(q.object)->on_invoke(sub, q.op, arg);
+}
+
+void CompositeProcess::on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) {
+  const auto& tagged = std::any_cast<const Tagged&>(payload);
+  SubContext sub(ctx, tagged.object);
+  instances_.at(tagged.object)->on_message(sub, src, tagged.inner);
+}
+
+void CompositeProcess::on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) {
+  const auto& tagged = std::any_cast<const Tagged&>(data);
+  SubContext sub(ctx, tagged.object);
+  instances_.at(tagged.object)->on_timer(sub, id, tagged.inner);
+}
+
+std::vector<sim::OpRecord> restrict_to_object(const std::vector<sim::OpRecord>& ops,
+                                              std::size_t object) {
+  std::vector<sim::OpRecord> out;
+  for (auto op : ops) {
+    const auto q = parse_qualified(op.op);
+    if (q.object != object) continue;
+    op.op = q.op;
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace lintime::core

@@ -1,0 +1,143 @@
+#include "core/construction.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace lintime::core {
+
+namespace {
+
+using adt::OpCategory;
+
+bool is_mutator(const adt::DataType& type, const ExecutedOp& op) {
+  return type.category(op.op) != OpCategory::kPureAccessor;
+}
+
+}  // namespace
+
+ConstructionResult build_construction(const adt::DataType& type,
+                                      const std::vector<const AlgorithmOneProcess*>& replicas,
+                                      const sim::RunRecord& record) {
+  ConstructionResult result;
+  std::ostringstream details;
+
+  // ---- Lemma 5: every replica executed the same mutator sequence, in
+  // increasing timestamp order.
+  std::vector<ExecutedOp> mutators;
+  for (const auto& entry : replicas.at(0)->executed()) {
+    if (is_mutator(type, entry)) mutators.push_back(entry);
+  }
+  result.mutator_order_agrees = true;
+  for (std::size_t i = 1; i < mutators.size(); ++i) {
+    if (!(mutators[i - 1].ts < mutators[i].ts)) {
+      result.mutator_order_agrees = false;
+      details << "replica 0 executed mutators out of timestamp order\n";
+    }
+  }
+  for (std::size_t p = 1; p < replicas.size(); ++p) {
+    std::vector<ExecutedOp> other;
+    for (const auto& entry : replicas[p]->executed()) {
+      if (is_mutator(type, entry)) other.push_back(entry);
+    }
+    bool same = other.size() == mutators.size();
+    for (std::size_t i = 0; same && i < other.size(); ++i) {
+      same = other[i].ts == mutators[i].ts && other[i].op == mutators[i].op &&
+             other[i].arg == mutators[i].arg && other[i].ret == mutators[i].ret;
+    }
+    if (!same) {
+      result.mutator_order_agrees = false;
+      details << "replica " << p << " executed a different mutator sequence\n";
+    }
+  }
+
+  // ---- Step 2 of the construction: place each pure accessor after the last
+  // mutator its replica executed before the accessor returned.  slot[k]
+  // holds the accessors that follow the k-th mutator (slot[0]: before any).
+  std::vector<std::vector<ExecutedOp>> slots(mutators.size() + 1);
+  for (std::size_t p = 0; p < replicas.size(); ++p) {
+    std::size_t mutators_seen = 0;
+    for (const auto& entry : replicas[p]->executed()) {
+      if (is_mutator(type, entry)) {
+        ++mutators_seen;
+      } else if (entry.ts.proc == static_cast<sim::ProcId>(p)) {
+        // Own pure accessor (accessors only execute at their invoker).
+        slots[std::min(mutators_seen, mutators.size())].push_back(entry);
+      }
+    }
+  }
+  // ---- Step 3: adjacent accessors in timestamp order.
+  for (auto& slot : slots) {
+    std::sort(slot.begin(), slot.end(),
+              [](const ExecutedOp& a, const ExecutedOp& b) { return a.ts < b.ts; });
+  }
+
+  // Assemble pi, remembering each element's timestamp for the real-time map.
+  std::vector<Timestamp> pi_ts;
+  for (std::size_t k = 0; k <= mutators.size(); ++k) {
+    for (const auto& aop : slots[k]) {
+      result.pi.push_back(adt::Instance{aop.op, aop.arg, aop.ret});
+      pi_ts.push_back(aop.ts);
+    }
+    if (k < mutators.size()) {
+      result.pi.push_back(adt::Instance{mutators[k].op, mutators[k].arg, mutators[k].ret});
+      pi_ts.push_back(mutators[k].ts);
+    }
+  }
+
+  // ---- Lemma 7: pi is legal.
+  result.legal = adt::is_legal(type, result.pi);
+  if (!result.legal) details << "constructed pi is not a legal sequence\n";
+
+  // ---- Lemma 6: pi respects the real-time order of non-overlapping
+  // instances.  Map each timestamp to its OpRecord by zipping, per process,
+  // the invocations (in invocation order) with the own executed entries (in
+  // timestamp order) -- both orders coincide at a correct replica.
+  std::map<Timestamp, const sim::OpRecord*> by_ts;
+  for (std::size_t p = 0; p < replicas.size(); ++p) {
+    std::vector<const sim::OpRecord*> invocations;
+    for (const auto& op : record.ops) {
+      if (op.proc == static_cast<sim::ProcId>(p)) invocations.push_back(&op);
+    }
+    std::sort(invocations.begin(), invocations.end(),
+              [](const sim::OpRecord* a, const sim::OpRecord* b) {
+                return a->invoke_real < b->invoke_real;
+              });
+    std::vector<const ExecutedOp*> own;
+    for (const auto& entry : replicas[p]->executed()) {
+      if (entry.ts.proc == static_cast<sim::ProcId>(p)) own.push_back(&entry);
+    }
+    std::sort(own.begin(), own.end(),
+              [](const ExecutedOp* a, const ExecutedOp* b) { return a->ts < b->ts; });
+    if (own.size() != invocations.size()) {
+      details << "replica " << p << ": executed " << own.size() << " own entries but "
+              << invocations.size() << " invocations recorded\n";
+      result.respects_real_time = false;
+      result.details = details.str();
+      return result;
+    }
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      by_ts[own[i]->ts] = invocations[i];
+    }
+  }
+
+  result.respects_real_time = true;
+  for (std::size_t i = 0; i < pi_ts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pi_ts.size(); ++j) {
+      const auto* a = by_ts.at(pi_ts[i]);
+      const auto* b = by_ts.at(pi_ts[j]);
+      // j follows i in pi; a violation is b responding strictly before a is
+      // invoked.
+      if (b->response_real < a->invoke_real) {
+        result.respects_real_time = false;
+        details << "real-time inversion: " << b->to_string() << " precedes " << a->to_string()
+                << " but is linearized later\n";
+      }
+    }
+  }
+
+  result.details = details.str();
+  return result;
+}
+
+}  // namespace lintime::core

@@ -1,0 +1,44 @@
+#pragma once
+// Operation timestamps (Section 5.1): an ordered pair (local clock time of
+// invocation, invoking process id), compared lexicographically.  Timestamp
+// order is the canonical order in which every replica executes mutators.
+
+#include <compare>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "sim/model_params.hpp"
+
+namespace lintime::core {
+
+struct Timestamp {
+  sim::Time clock = 0;
+  sim::ProcId proc = 0;
+  /// Per-process monotone counter.  The paper's (clock, proc) pairs are
+  /// unique because every operation takes positive time; implementations
+  /// with zero-latency responses (the sequentially consistent baseline) can
+  /// issue two operations at the same local clock reading, and the sequence
+  /// number keeps their timestamps distinct and program-ordered.
+  std::uint64_t seq = 0;
+
+  // Lexicographic (clock, proc, seq).  Clock values are finite doubles, so
+  // the order is total.
+  friend std::strong_ordering operator<=>(const Timestamp& a, const Timestamp& b) {
+    if (a.clock < b.clock) return std::strong_ordering::less;
+    if (a.clock > b.clock) return std::strong_ordering::greater;
+    if (a.proc != b.proc) return a.proc <=> b.proc;
+    return a.seq <=> b.seq;
+  }
+  friend bool operator==(const Timestamp& a, const Timestamp& b) {
+    return a.clock == b.clock && a.proc == b.proc && a.seq == b.seq;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "(" << clock << ", p" << proc << ", #" << seq << ")";
+    return os.str();
+  }
+};
+
+}  // namespace lintime::core

@@ -1,0 +1,42 @@
+#pragma once
+// The timer constants of Algorithm 1, factored out so that the lower-bound
+// experiments can instantiate *unsafe* variants (timers shorter than the
+// proven bounds) that share every line of algorithm logic with the correct
+// one.  The lower-bound proofs only assume an algorithm with |OP| below the
+// bound; shortening these constants realizes exactly that assumption.
+
+#include <stdexcept>
+
+#include "sim/model_params.hpp"
+
+namespace lintime::core {
+
+struct TimingPolicy {
+  sim::Time aop_backdate = 0;   ///< X  : subtracted from an AOP's timestamp (line 2)
+  sim::Time aop_respond = 0;    ///< d-X: AOP local-execute-and-respond delay (line 2)
+  sim::Time mop_respond = 0;    ///< X+eps: pure-mutator ACK delay (line 12)
+  sim::Time add_delay = 0;      ///< d-u: invoker's simulated message delay (line 14)
+  sim::Time execute_delay = 0;  ///< u+eps: queue-settling delay (line 19)
+
+  /// The paper's Algorithm 1 with tradeoff parameter X in [0, d-eps]:
+  ///   |AOP| = d-X,  |MOP| = X+eps,  |OOP| = d+eps.
+  static TimingPolicy standard(const sim::ModelParams& p, sim::Time X) {
+    if (X < 0 || X > p.d - p.eps) {
+      throw std::invalid_argument("TimingPolicy: X must be in [0, d-eps]");
+    }
+    TimingPolicy t;
+    t.aop_backdate = X;
+    t.aop_respond = p.d - X;
+    t.mop_respond = X + p.eps;
+    t.add_delay = p.d - p.u;
+    t.execute_delay = p.u + p.eps;
+    return t;
+  }
+
+  /// Worst-case response times implied by this policy.
+  [[nodiscard]] sim::Time aop_bound() const { return aop_respond; }
+  [[nodiscard]] sim::Time mop_bound() const { return mop_respond; }
+  [[nodiscard]] sim::Time oop_bound() const { return add_delay + execute_delay; }
+};
+
+}  // namespace lintime::core

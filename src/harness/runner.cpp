@@ -1,0 +1,161 @@
+#include "harness/runner.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "baseline/all_oop.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/seq_consistent.hpp"
+#include "baseline/zero_wait.hpp"
+#include "core/algorithm_one.hpp"
+#include "core/timing_policy.hpp"
+
+namespace lintime::harness {
+
+namespace {
+
+/// Closed-loop driver state shared by the response hook.
+struct ScriptDriver {
+  std::vector<std::vector<ScriptOp>> scripts;
+  std::vector<std::size_t> next;  ///< per-process cursor
+  sim::Time gap = 0;
+
+  void kick_off(sim::World& world, sim::Time start) {
+    for (sim::ProcId p = 0; p < static_cast<sim::ProcId>(scripts.size()); ++p) {
+      advance(world, p, start);
+    }
+  }
+
+  void advance(sim::World& world, sim::ProcId p, sim::Time when) {
+    auto& cursor = next[static_cast<std::size_t>(p)];
+    const auto& script = scripts[static_cast<std::size_t>(p)];
+    if (cursor >= script.size()) return;
+    const auto& step = script[cursor++];
+    world.invoke_at(when, p, step.op, step.arg);
+  }
+};
+
+}  // namespace
+
+const LatencyStats& RunResult::stats_for(const std::string& op) const {
+  const auto it = latency.find(op);
+  if (it == latency.end()) {
+    throw std::invalid_argument("RunResult: no instances of operation '" + op + "'");
+  }
+  return it->second;
+}
+
+std::map<std::string, LatencyStats> latency_by_op(const sim::RunRecord& record) {
+  std::map<std::string, LatencyStats> out;
+  for (const auto& op : record.ops) {
+    if (!op.complete()) continue;
+    auto& s = out[op.op];
+    const sim::Time latency = op.latency();
+    if (s.count == 0) {
+      s.min = s.max = latency;
+    } else {
+      s.min = std::min(s.min, latency);
+      s.max = std::max(s.max, latency);
+    }
+    s.mean = (s.mean * static_cast<double>(s.count) + latency) / static_cast<double>(s.count + 1);
+    ++s.count;
+  }
+  return out;
+}
+
+RunResult execute(const adt::DataType& type, const RunSpec& spec) {
+  sim::WorldConfig config;
+  config.params = spec.params;
+  config.clock_offsets = spec.clock_offsets;
+  config.delays = spec.delays;
+
+  // The all-OOP baseline reuses Algorithm 1 against a category-erased view
+  // of the type; the decorator must outlive the world.
+  std::optional<baseline::AllMixedDataType> all_mixed;
+  if (spec.algo == AlgoKind::kAllOop) all_mixed.emplace(type);
+
+  // Keep raw handles for end-of-run state inspection.
+  std::vector<core::AlgorithmOneProcess*> algo1_procs;
+  std::vector<baseline::CentralizedProcess*> central_procs;
+
+  // Lazily resolved so baselines never validate an Algorithm-1 X they do
+  // not use.
+  const auto timing = [&spec]() {
+    return spec.timing.value_or(core::TimingPolicy::standard(spec.params, spec.X));
+  };
+
+  sim::World::ProcessFactory factory = [&](sim::ProcId p) -> std::unique_ptr<sim::Process> {
+    switch (spec.algo) {
+      case AlgoKind::kAlgorithmOne: {
+        auto proc = std::make_unique<core::AlgorithmOneProcess>(type, timing());
+        algo1_procs.push_back(proc.get());
+        return proc;
+      }
+      case AlgoKind::kAllOop: {
+        auto proc = std::make_unique<core::AlgorithmOneProcess>(*all_mixed, timing());
+        algo1_procs.push_back(proc.get());
+        return proc;
+      }
+      case AlgoKind::kCentralized: {
+        auto proc = std::make_unique<baseline::CentralizedProcess>(type, p);
+        central_procs.push_back(proc.get());
+        return proc;
+      }
+      case AlgoKind::kZeroWait:
+        return std::make_unique<baseline::ZeroWaitProcess>(type);
+      case AlgoKind::kSeqConsistent:
+        return std::make_unique<baseline::SeqConsistentProcess>(type, spec.params);
+    }
+    throw std::logic_error("unknown AlgoKind");
+  };
+
+  sim::World world(config, factory);
+
+  for (const auto& call : spec.calls) {
+    world.invoke_at(call.when, call.proc, call.op, call.arg);
+  }
+
+  ScriptDriver driver;
+  if (!spec.scripts.empty()) {
+    if (spec.scripts.size() != static_cast<std::size_t>(spec.params.n)) {
+      throw std::invalid_argument("RunSpec: scripts.size() must equal n");
+    }
+    driver.scripts = spec.scripts;
+    driver.next.assign(driver.scripts.size(), 0);
+    driver.gap = spec.script_gap;
+    world.set_response_hook([&driver](sim::World& w, const sim::OpRecord& op) {
+      driver.advance(w, op.proc, w.now() + driver.gap);
+    });
+    driver.kick_off(world, spec.script_start);
+  }
+
+  world.run();
+
+  RunResult result;
+  result.record = world.record();
+  result.latency = latency_by_op(result.record);
+  for (auto* p : algo1_procs) result.final_states.push_back(p->state_canonical());
+  for (auto* p : central_procs) {
+    result.final_states.push_back(p->state_canonical());
+    break;  // only the coordinator's state is meaningful
+  }
+  return result;
+}
+
+std::vector<std::vector<ScriptOp>> random_scripts(const adt::DataType& type, int n,
+                                                  int ops_per_proc, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto& specs = type.ops();
+  std::vector<std::vector<ScriptOp>> scripts(static_cast<std::size_t>(n));
+  for (auto& script : scripts) {
+    script.reserve(static_cast<std::size_t>(ops_per_proc));
+    for (int i = 0; i < ops_per_proc; ++i) {
+      const auto& spec = specs[rng() % specs.size()];
+      const auto args = type.sample_args(spec.name);
+      script.push_back(ScriptOp{spec.name, args[rng() % args.size()]});
+    }
+  }
+  return scripts;
+}
+
+}  // namespace lintime::harness

@@ -1,0 +1,113 @@
+#pragma once
+// Run orchestration: build a World for a chosen algorithm, drive a workload
+// (open-loop scheduled calls and/or closed-loop per-process scripts), and
+// collect the recorded run plus per-operation latency statistics.  All
+// tests, examples and benches go through this harness, so experiment
+// configurations are declarative and reproducible.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "core/timing_policy.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/run_record.hpp"
+#include "sim/world.hpp"
+
+namespace lintime::harness {
+
+/// Which shared-object implementation to run.
+enum class AlgoKind {
+  kAlgorithmOne,   ///< the paper's Algorithm 1 (core/algorithm_one.hpp)
+  kCentralized,    ///< folklore 2d baseline
+  kAllOop,         ///< Algorithm 1 with every op treated as mixed (d+eps TOB)
+  kZeroWait,       ///< UNSAFE zero-latency comparator
+  kSeqConsistent,  ///< sequentially consistent (weaker condition, faster ops)
+};
+
+[[nodiscard]] constexpr const char* to_string(AlgoKind k) {
+  switch (k) {
+    case AlgoKind::kAlgorithmOne: return "algorithm1";
+    case AlgoKind::kCentralized: return "centralized";
+    case AlgoKind::kAllOop: return "all-oop";
+    case AlgoKind::kZeroWait: return "zero-wait";
+    case AlgoKind::kSeqConsistent: return "seq-consistent";
+  }
+  return "?";
+}
+
+/// One open-loop (scheduled) invocation.
+struct Call {
+  sim::Time when = 0;
+  sim::ProcId proc = 0;
+  std::string op;
+  adt::Value arg;
+};
+
+/// One step of a closed-loop script.
+struct ScriptOp {
+  std::string op;
+  adt::Value arg;
+};
+
+struct RunSpec {
+  sim::ModelParams params;
+  AlgoKind algo = AlgoKind::kAlgorithmOne;
+  sim::Time X = 0;  ///< Algorithm 1 tradeoff parameter, in [0, d-eps]
+
+  /// Explicit timer constants for Algorithm 1 / all-OOP runs, overriding the
+  /// standard policy derived from X.  Used to run deliberately unsafe
+  /// variants (timers below the paper's bounds) through the same harness.
+  std::optional<core::TimingPolicy> timing;
+
+  std::vector<sim::Time> clock_offsets;         ///< empty = all zero
+  std::shared_ptr<sim::DelayModel> delays;      ///< null = ConstantDelay(d)
+
+  std::vector<Call> calls;  ///< open-loop invocations
+
+  /// Closed-loop scripts: scripts[p] is invoked back-to-back at process p,
+  /// the first at `script_start`, each next `script_gap` after the previous
+  /// response.
+  std::vector<std::vector<ScriptOp>> scripts;
+  sim::Time script_start = 0;
+  sim::Time script_gap = 0;
+};
+
+/// Latency summary for one operation name.
+struct LatencyStats {
+  std::size_t count = 0;
+  sim::Time min = 0;
+  sim::Time max = 0;
+  sim::Time mean = 0;
+};
+
+struct RunResult {
+  sim::RunRecord record;
+  std::map<std::string, LatencyStats> latency;  ///< by operation name
+
+  /// End-of-run replica state canonical encodings (index = process), for
+  /// convergence / History Oblivion assertions.  Present for replicated
+  /// algorithms (Algorithm 1, all-OOP, zero-wait); the centralized baseline
+  /// reports only the coordinator's state at index 0.
+  std::vector<std::string> final_states;
+
+  [[nodiscard]] const LatencyStats& stats_for(const std::string& op) const;
+};
+
+/// Executes the spec to quiescence and collects results.
+[[nodiscard]] RunResult execute(const adt::DataType& type, const RunSpec& spec);
+
+/// Computes latency stats from any record.
+[[nodiscard]] std::map<std::string, LatencyStats> latency_by_op(const sim::RunRecord& record);
+
+/// Generates a pseudo-random closed-loop workload: `ops_per_proc` operations
+/// at each of `params.n` processes, drawn uniformly from `type`'s operations
+/// and sample arguments.  Deterministic per seed.
+[[nodiscard]] std::vector<std::vector<ScriptOp>> random_scripts(const adt::DataType& type,
+                                                                int n, int ops_per_proc,
+                                                                std::uint64_t seed);
+
+}  // namespace lintime::harness

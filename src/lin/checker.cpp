@@ -1,0 +1,138 @@
+#include "lin/checker.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "lin/search_detail.hpp"
+
+namespace lintime::lin {
+
+namespace detail {
+
+namespace {
+
+class Search {
+ public:
+  Search(const adt::DataType& type, const std::vector<sim::OpRecord>& ops,
+         const std::function<bool(std::size_t, std::size_t)>& precedes_fn,
+         const CheckOptions& options)
+      : type_(type), ops_(ops), n_(ops.size()), options_(options) {
+    precedes_.assign(n_ * n_, false);
+    pred_count_.assign(n_, 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i != j && precedes_fn(i, j)) {
+          precedes_[i * n_ + j] = true;
+          ++pred_count_[j];
+        }
+      }
+    }
+    placed_.assign(n_, false);
+  }
+
+  CheckResult run() {
+    CheckResult result;
+    auto state = type_.make_initial_state();
+    result.linearizable = dfs(*state, 0);
+    result.witness = witness_;
+    result.nodes_expanded = nodes_;
+    return result;
+  }
+
+ private:
+  bool dfs(adt::ObjectState& state, std::size_t placed_count) {
+    if (placed_count == n_) return true;
+    ++nodes_;
+
+    std::string key;
+    key.reserve(n_ + 1 + 16);
+    for (std::size_t i = 0; i < n_; ++i) key.push_back(placed_[i] ? '1' : '0');
+    key.push_back('|');
+    key += state.canonical();
+    if (options_.memoize && visited_.contains(key)) return false;
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (placed_[i] || pred_count_[i] != 0) continue;
+
+      auto probe = state.clone();
+      if (probe->apply(ops_[i].op, ops_[i].arg) != ops_[i].ret) continue;
+
+      placed_[i] = true;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (precedes_[i * n_ + j]) --pred_count_[j];
+      }
+      witness_.push_back(i);
+
+      if (dfs(*probe, placed_count + 1)) return true;
+
+      witness_.pop_back();
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (precedes_[i * n_ + j]) ++pred_count_[j];
+      }
+      placed_[i] = false;
+    }
+
+    if (options_.memoize) visited_.insert(std::move(key));
+    return false;
+  }
+
+  const adt::DataType& type_;
+  const std::vector<sim::OpRecord>& ops_;
+  std::size_t n_;
+  std::vector<char> precedes_;
+  std::vector<int> pred_count_;
+  std::vector<char> placed_;
+  std::vector<std::size_t> witness_;
+  std::unordered_set<std::string> visited_;
+  std::size_t nodes_ = 0;
+  CheckOptions options_;
+};
+
+}  // namespace
+
+CheckResult search_permutation(const adt::DataType& type, const std::vector<sim::OpRecord>& ops,
+                               const std::function<bool(std::size_t, std::size_t)>& precedes,
+                               const CheckOptions& options) {
+  for (const auto& op : ops) {
+    if (!op.complete()) {
+      throw std::invalid_argument("permutation search: incomplete instance " + op.op);
+    }
+  }
+  return Search(type, ops, precedes, options).run();
+}
+
+}  // namespace detail
+
+std::string CheckResult::witness_to_string(const std::vector<sim::OpRecord>& ops) const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < witness.size(); ++k) {
+    if (k > 0) os << " . ";
+    os << ops[witness[k]].to_string();
+  }
+  return os.str();
+}
+
+CheckResult check_linearizability(const adt::DataType& type,
+                                  const std::vector<sim::OpRecord>& ops,
+                                  const CheckOptions& options) {
+  return detail::search_permutation(type, ops, [&ops](std::size_t i, std::size_t j) {
+    // Cross-process: strict real-time precedence.  Same process: program
+    // order (by invocation; uid breaks exact-boundary ties, where a response
+    // and the next invocation share a real time but the response's step
+    // comes first in the process's view).
+    if (ops[i].proc == ops[j].proc) {
+      if (ops[i].invoke_real != ops[j].invoke_real) {
+        return ops[i].invoke_real < ops[j].invoke_real;
+      }
+      return ops[i].uid < ops[j].uid;
+    }
+    return ops[i].response_real < ops[j].invoke_real;
+  }, options);
+}
+
+CheckResult check_linearizability(const adt::DataType& type, const sim::RunRecord& record) {
+  return check_linearizability(type, record.ops);
+}
+
+}  // namespace lintime::lin

@@ -1,0 +1,111 @@
+#include "lin/nondet_checker.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lintime::lin {
+
+namespace {
+
+class NondetSearch {
+ public:
+  NondetSearch(const adt::NondetDataType& type, const std::vector<sim::OpRecord>& ops)
+      : type_(type), ops_(ops), n_(ops.size()) {
+    precedes_.assign(n_ * n_, false);
+    pred_count_.assign(n_, 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i == j) continue;
+        bool before = false;
+        if (ops[i].proc == ops[j].proc) {
+          before = ops[i].invoke_real < ops[j].invoke_real ||
+                   (ops[i].invoke_real == ops[j].invoke_real && ops[i].uid < ops[j].uid);
+        } else {
+          before = ops[i].response_real < ops[j].invoke_real;
+        }
+        if (before) {
+          precedes_[i * n_ + j] = true;
+          ++pred_count_[j];
+        }
+      }
+    }
+    placed_.assign(n_, false);
+  }
+
+  CheckResult run() {
+    CheckResult result;
+    auto state = type_.make_initial_state();
+    result.linearizable = dfs(*state, 0);
+    result.witness = witness_;
+    result.nodes_expanded = nodes_;
+    return result;
+  }
+
+ private:
+  bool dfs(adt::ObjectState& state, std::size_t placed_count) {
+    if (placed_count == n_) return true;
+    ++nodes_;
+
+    std::string key;
+    key.reserve(n_ + 1 + 16);
+    for (std::size_t i = 0; i < n_; ++i) key.push_back(placed_[i] ? '1' : '0');
+    key.push_back('|');
+    key += state.canonical();
+    if (visited_.contains(key)) return false;
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (placed_[i] || pred_count_[i] != 0) continue;
+
+      // Branch over every outcome whose return value matches the record.
+      for (auto& outcome : type_.outcomes(state, ops_[i].op, ops_[i].arg)) {
+        if (outcome.ret != ops_[i].ret) continue;
+
+        placed_[i] = true;
+        for (std::size_t j = 0; j < n_; ++j) {
+          if (precedes_[i * n_ + j]) --pred_count_[j];
+        }
+        witness_.push_back(i);
+
+        if (dfs(*outcome.state, placed_count + 1)) return true;
+
+        witness_.pop_back();
+        for (std::size_t j = 0; j < n_; ++j) {
+          if (precedes_[i * n_ + j]) ++pred_count_[j];
+        }
+        placed_[i] = false;
+      }
+    }
+
+    visited_.insert(std::move(key));
+    return false;
+  }
+
+  const adt::NondetDataType& type_;
+  const std::vector<sim::OpRecord>& ops_;
+  std::size_t n_;
+  std::vector<char> precedes_;
+  std::vector<int> pred_count_;
+  std::vector<char> placed_;
+  std::vector<std::size_t> witness_;
+  std::unordered_set<std::string> visited_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+CheckResult check_linearizability_nondet(const adt::NondetDataType& type,
+                                         const std::vector<sim::OpRecord>& ops) {
+  for (const auto& op : ops) {
+    if (!op.complete()) {
+      throw std::invalid_argument("nondet checker: incomplete instance " + op.op);
+    }
+  }
+  return NondetSearch(type, ops).run();
+}
+
+CheckResult check_linearizability_nondet(const adt::NondetDataType& type,
+                                         const sim::RunRecord& record) {
+  return check_linearizability_nondet(type, record.ops);
+}
+
+}  // namespace lintime::lin

@@ -1,0 +1,26 @@
+#include "lin/sc_checker.hpp"
+
+#include "lin/search_detail.hpp"
+
+namespace lintime::lin {
+
+CheckResult check_sequential_consistency(const adt::DataType& type,
+                                         const std::vector<sim::OpRecord>& ops) {
+  // Program order only: i before j iff both ran at the same process and i
+  // was invoked first (per-process operations never overlap, so invocation
+  // order is program order; uid breaks exact-boundary ties).
+  return detail::search_permutation(type, ops, [&ops](std::size_t i, std::size_t j) {
+    if (ops[i].proc != ops[j].proc) return false;
+    if (ops[i].invoke_real != ops[j].invoke_real) {
+      return ops[i].invoke_real < ops[j].invoke_real;
+    }
+    return ops[i].uid < ops[j].uid;
+  });
+}
+
+CheckResult check_sequential_consistency(const adt::DataType& type,
+                                         const sim::RunRecord& record) {
+  return check_sequential_consistency(type, record.ops);
+}
+
+}  // namespace lintime::lin

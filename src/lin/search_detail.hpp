@@ -1,0 +1,22 @@
+#pragma once
+// Internal: the memoized permutation search shared by the linearizability
+// and sequential-consistency checkers.  The two differ only in the
+// precedence relation the witness permutation must respect.
+
+#include <functional>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "lin/checker.hpp"
+#include "sim/run_record.hpp"
+
+namespace lintime::lin::detail {
+
+/// Searches for a legal permutation of `ops` consistent with `precedes`
+/// (precedes(i, j) == true forces i before j; must be acyclic).
+[[nodiscard]] CheckResult search_permutation(
+    const adt::DataType& type, const std::vector<sim::OpRecord>& ops,
+    const std::function<bool(std::size_t, std::size_t)>& precedes,
+    const CheckOptions& options = {});
+
+}  // namespace lintime::lin::detail

@@ -1,0 +1,116 @@
+#include "shift/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace lintime::shift {
+
+namespace {
+
+/// Maps a real time to a column in [0, width-1], clipping.
+int column_of(double t, double t_min, double t_max, int width) {
+  if (t <= t_min) return 0;
+  if (t >= t_max) return width - 1;
+  return static_cast<int>((t - t_min) / (t_max - t_min) * (width - 1));
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_timeline(const sim::RunRecord& record, const RenderOptions& options) {
+  double t_min = options.t_min;
+  double t_max = options.t_max;
+  if (t_max < t_min) t_max = record.last_time();
+  if (t_max <= t_min) t_max = t_min + 1;
+  const int width = std::max(options.width, 20);
+
+  std::ostringstream out;
+  out << "t: " << std::left << std::setw(width - 8) << fmt(t_min) << fmt(t_max) << "\n";
+
+  for (sim::ProcId p = 0; p < record.params.n; ++p) {
+    std::string lane(static_cast<std::size_t>(width), ' ');
+    lane.front() = '|';
+    lane.back() = '|';
+
+    for (const auto& op : record.ops) {
+      if (op.proc != p) continue;
+      const double end = op.complete() ? op.response_real : t_max;
+      if (end < t_min || op.invoke_real > t_max) continue;
+
+      const int c0 = column_of(op.invoke_real, t_min, t_max, width);
+      const int c1 = std::max(column_of(end, t_min, t_max, width), c0 + 1);
+      lane[static_cast<std::size_t>(c0)] = '[';
+      lane[static_cast<std::size_t>(c1)] = op.complete() ? ']' : '>';
+      for (int c = c0 + 1; c < c1; ++c) lane[static_cast<std::size_t>(c)] = '.';
+      // Label inside the interval when it fits, otherwise in the free space
+      // right of the closing bracket (short intervals would otherwise be
+      // unlabelled).
+      std::string label = op.op + "(" + op.arg.to_string() + ")";
+      if (op.complete()) label += "->" + op.ret.to_string();
+      int c = (static_cast<int>(label.size()) <= c1 - c0 - 1) ? c0 + 1 : c1 + 1;
+      for (const char ch : label) {
+        if (c >= width - 1) break;
+        auto& cell = lane[static_cast<std::size_t>(c)];
+        if (cell != ' ' && cell != '.') break;  // ran into another op
+        cell = ch;
+        ++c;
+      }
+    }
+
+    out << "p" << p << std::string(p < 10 ? 2 : 1, ' ') << lane << "\n";
+  }
+
+  if (options.show_messages) {
+    for (const auto& msg : record.messages) {
+      if (msg.send_real > t_max || (msg.received && msg.recv_real < t_min)) continue;
+      out << "  msg#" << msg.id << " p" << msg.src << "@" << fmt(msg.send_real) << " -> p"
+          << msg.dst;
+      if (msg.received) {
+        out << "@" << fmt(msg.recv_real) << " (delay " << fmt(msg.delay()) << ")";
+      } else {
+        out << " (unreceived)";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_delay_matrix(const std::vector<std::vector<double>>& matrix,
+                                const sim::ModelParams& params) {
+  const std::size_t n = matrix.size();
+  std::ostringstream out;
+  out << std::setw(8) << "delay";
+  for (std::size_t j = 0; j < n; ++j) out << std::setw(8) << ("->p" + std::to_string(j));
+  out << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    out << std::setw(8) << ("p" + std::to_string(i));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        out << std::setw(8) << "-";
+        continue;
+      }
+      const double dij = matrix[i][j];
+      std::string cell = fmt(dij);
+      if (dij < params.min_delay() - 1e-9 || dij > params.d + 1e-9) {
+        cell += '!';
+      } else if (std::abs(dij - params.d) < 1e-9) {
+        cell += '*';
+      }
+      out << std::setw(8) << cell;
+    }
+    out << "\n";
+  }
+  out << "  ('!' = outside [d-u, d] = [" << fmt(params.min_delay()) << ", " << fmt(params.d)
+      << "], '*' = exactly d)\n";
+  return out.str();
+}
+
+}  // namespace lintime::shift

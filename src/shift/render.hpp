@@ -1,0 +1,42 @@
+#pragma once
+// ASCII rendering of runs and delay matrices -- the executable counterpart
+// of the paper's Figures 1-10, which are exactly per-process timelines of
+// adversarial runs and tables of pair-wise message delays.  Used by the
+// fig_theorem* benches and the trace inspector.
+
+#include <string>
+#include <vector>
+
+#include "sim/run_record.hpp"
+
+namespace lintime::shift {
+
+struct RenderOptions {
+  double t_min = 0;    ///< left edge (real time)
+  double t_max = -1;   ///< right edge; < t_min means "end of run"
+  int width = 96;      ///< columns for the time axis
+  bool show_messages = false;  ///< append one line per message in the window
+};
+
+/// Renders each process's operations as labelled intervals on a shared real
+/// time axis:
+///
+///   t:      50.0                                                      61.5
+///   p0      |        [dequeue(nil) -> 7..............]                  |
+///   p1      |  [dequeue(nil) -> nil.......................]             |
+///
+/// Operations overlapping [t_min, t_max] are drawn (clipped); incomplete
+/// operations render with a '>' right edge.
+[[nodiscard]] std::string render_timeline(const sim::RunRecord& record,
+                                          const RenderOptions& options = {});
+
+/// Renders an n-by-n delay matrix with admissibility marks:
+///
+///   delay   ->p0    ->p1    ->p2
+///   p0         -    10.0*   8.4
+///   p1       11.6!     -    8.4
+///   (entries outside [d-u, d] are flagged with '!'; '*' marks d exactly)
+[[nodiscard]] std::string render_delay_matrix(const std::vector<std::vector<double>>& matrix,
+                                              const sim::ModelParams& params);
+
+}  // namespace lintime::shift

@@ -1,0 +1,234 @@
+#include "shift/shift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace lintime::shift {
+
+namespace {
+
+constexpr sim::Time kTol = 1e-9;
+
+std::string pair_str(sim::ProcId a, sim::ProcId b) {
+  std::ostringstream os;
+  os << "p" << a << "->p" << b;
+  return os.str();
+}
+
+}  // namespace
+
+sim::RunRecord shift_run(const sim::RunRecord& run, const std::vector<sim::Time>& x) {
+  if (x.size() != static_cast<std::size_t>(run.params.n)) {
+    throw std::invalid_argument("shift_run: x.size() != n");
+  }
+  sim::RunRecord out = run;
+
+  // Steps: real times move; local clock values are part of the view and do
+  // not move.  (Theorem 1(1): the offset becomes c_i - x_i, which is exactly
+  // clock_time - new_real_time.)
+  for (auto& step : out.steps) {
+    step.real_time += x[static_cast<std::size_t>(step.proc)];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.clock_offsets[i] -= x[i];
+  }
+
+  // Messages: Theorem 1(2) -- delay becomes delta - x_src + x_dst.
+  for (auto& msg : out.messages) {
+    msg.send_real += x[static_cast<std::size_t>(msg.src)];
+    if (msg.received) msg.recv_real += x[static_cast<std::size_t>(msg.dst)];
+  }
+
+  // Operation instances move with their invoking process.  (Test
+  // completeness before touching invoke_real -- complete() compares the two.)
+  for (auto& op : out.ops) {
+    const bool complete = op.complete();
+    op.invoke_real += x[static_cast<std::size_t>(op.proc)];
+    if (complete) {
+      op.response_real += x[static_cast<std::size_t>(op.proc)];
+    }
+  }
+
+  // Keep the global step order sorted by real time for readability.
+  std::stable_sort(out.steps.begin(), out.steps.end(),
+                   [](const sim::StepRecord& a, const sim::StepRecord& b) {
+                     return a.real_time < b.real_time;
+                   });
+  return out;
+}
+
+AdmissibilityReport check_admissibility(const sim::RunRecord& run) {
+  AdmissibilityReport report;
+  const auto& p = run.params;
+
+  // Clock skew.
+  for (std::size_t i = 0; i < run.clock_offsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < run.clock_offsets.size(); ++j) {
+      const sim::Time skew = std::abs(run.clock_offsets[i] - run.clock_offsets[j]);
+      report.max_skew = std::max(report.max_skew, skew);
+      if (skew > p.eps + kTol) {
+        report.admissible = false;
+        std::ostringstream os;
+        os << "skew(p" << i << ", p" << j << ") = " << skew << " > eps = " << p.eps;
+        report.violations.push_back({Violation::Kind::kSkew, os.str()});
+      }
+    }
+  }
+
+  // Per-process end-of-view times (for the unreceived-message condition).
+  std::vector<sim::Time> view_end(static_cast<std::size_t>(p.n),
+                                  -std::numeric_limits<sim::Time>::infinity());
+  for (const auto& step : run.steps) {
+    auto& end = view_end[static_cast<std::size_t>(step.proc)];
+    end = std::max(end, step.real_time);
+  }
+
+  bool first = true;
+  for (const auto& msg : run.messages) {
+    if (msg.received) {
+      const sim::Time delay = msg.delay();
+      if (first) {
+        report.min_delay = report.max_delay = delay;
+        first = false;
+      } else {
+        report.min_delay = std::min(report.min_delay, delay);
+        report.max_delay = std::max(report.max_delay, delay);
+      }
+      if (delay < p.min_delay() - kTol) {
+        report.admissible = false;
+        report.violations.push_back(
+            {Violation::Kind::kDelayLow, pair_str(msg.src, msg.dst) + " delay " +
+                                             std::to_string(delay) + " < d-u"});
+      } else if (delay > p.d + kTol) {
+        report.admissible = false;
+        report.violations.push_back(
+            {Violation::Kind::kDelayHigh, pair_str(msg.src, msg.dst) + " delay " +
+                                              std::to_string(delay) + " > d"});
+      }
+    } else {
+      // Unreceived message: the recipient's view must end before send + d.
+      const sim::Time end = view_end[static_cast<std::size_t>(msg.dst)];
+      if (end >= msg.send_real + p.d - kTol) {
+        report.admissible = false;
+        report.violations.push_back(
+            {Violation::Kind::kUnreceivedTooLate,
+             pair_str(msg.src, msg.dst) + " unreceived but recipient view extends to " +
+                 std::to_string(end)});
+      }
+    }
+  }
+  return report;
+}
+
+std::optional<std::vector<std::vector<sim::Time>>> extract_delay_matrix(const sim::RunRecord& run,
+                                                                        sim::Time fill) {
+  const auto n = static_cast<std::size_t>(run.params.n);
+  std::vector<std::vector<sim::Time>> matrix(n, std::vector<sim::Time>(n, fill));
+  std::vector<std::vector<bool>> seen(n, std::vector<bool>(n, false));
+  for (const auto& msg : run.messages) {
+    if (!msg.received) continue;
+    const auto s = static_cast<std::size_t>(msg.src);
+    const auto r = static_cast<std::size_t>(msg.dst);
+    if (!seen[s][r]) {
+      matrix[s][r] = msg.delay();
+      seen[s][r] = true;
+    } else if (std::abs(matrix[s][r] - msg.delay()) > kTol) {
+      return std::nullopt;  // not pair-wise uniform
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::vector<sim::Time>> shortest_paths(
+    const std::vector<std::vector<sim::Time>>& matrix) {
+  const std::size_t n = matrix.size();
+  auto dist = matrix;
+  for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  return dist;
+}
+
+sim::RunRecord chop_run(const sim::RunRecord& run,
+                        const std::vector<std::vector<sim::Time>>& matrix, sim::Time delta) {
+  const auto& p = run.params;
+  const std::size_t n = matrix.size();
+  if (n != static_cast<std::size_t>(p.n)) throw std::invalid_argument("chop_run: matrix size");
+
+  // Locate the unique invalid entry (s, r).
+  std::optional<std::pair<std::size_t, std::size_t>> invalid;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const sim::Time dij = matrix[i][j];
+      if (dij < p.min_delay() - kTol || dij > p.d + kTol) {
+        if (invalid.has_value()) {
+          throw std::invalid_argument("chop_run: more than one invalid delay");
+        }
+        invalid = {i, j};
+      }
+    }
+  }
+  if (!invalid.has_value()) {
+    throw std::invalid_argument("chop_run: no invalid delay; nothing to chop");
+  }
+  const auto [s, r] = *invalid;
+
+  // First send on the invalid link.
+  sim::Time t_m = std::numeric_limits<sim::Time>::infinity();
+  for (const auto& msg : run.messages) {
+    if (static_cast<std::size_t>(msg.src) == s && static_cast<std::size_t>(msg.dst) == r) {
+      t_m = std::min(t_m, msg.send_real);
+    }
+  }
+  if (!std::isfinite(t_m)) {
+    throw std::invalid_argument("chop_run: no message on the invalid link");
+  }
+
+  const sim::Time t_star = t_m + std::min(matrix[s][r], delta);
+
+  // Per-process cut times: r is cut at t*, everyone else at t* + shortest
+  // path from r (with respect to the *valid* entries of D -- Lemma 2 uses
+  // the delays in D; the invalid edge itself participates as stated).
+  const auto dist = shortest_paths(matrix);
+  std::vector<sim::Time> cut(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cut[i] = t_star + dist[r][i];
+  }
+
+  sim::RunRecord out;
+  out.params = run.params;
+  out.clock_offsets = run.clock_offsets;
+
+  for (const auto& step : run.steps) {
+    if (step.real_time < cut[static_cast<std::size_t>(step.proc)] - kTol) {
+      out.steps.push_back(step);
+    }
+  }
+  for (auto msg : run.messages) {
+    if (msg.send_real >= cut[static_cast<std::size_t>(msg.src)] - kTol) continue;  // never sent
+    if (msg.received && msg.recv_real >= cut[static_cast<std::size_t>(msg.dst)] - kTol) {
+      msg.received = false;  // sent but no longer received within the fragment
+      msg.recv_real = 0;
+    }
+    out.messages.push_back(msg);
+  }
+  for (auto op : run.ops) {
+    if (op.invoke_real >= cut[static_cast<std::size_t>(op.proc)] - kTol) continue;
+    if (op.complete() && op.response_real >= cut[static_cast<std::size_t>(op.proc)] - kTol) {
+      op.response_real = -1;  // invoked but not yet responded within fragment
+    }
+    out.ops.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace lintime::shift

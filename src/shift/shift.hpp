@@ -1,0 +1,73 @@
+#pragma once
+// The classic shifting technique (Section 2.4, Theorem 1) and the paper's
+// new shift-and-chop technique (Section 4.1, Lemma 2), operating on recorded
+// runs.
+//
+// shift(R, x) adds x[i] to the real time of every step of process i.  Each
+// process's *view* (sequence of steps with local clock values) is untouched
+// -- only real times move -- so the result is again a run of the same
+// algorithm; what changes are the clock offsets (c_i - x_i) and the message
+// delays (delta - x_src + x_dst), exactly as Theorem 1 states.  Whether the
+// result is still admissible is checked separately.
+//
+// chop(R, D, delta) truncates a run fragment with pair-wise uniform delays
+// (matrix D) containing exactly one invalid delay, cutting each process's
+// view just before information from the invalid link could reach it, and
+// yields a fragment whose delays are all valid (Lemma 2).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/run_record.hpp"
+
+namespace lintime::shift {
+
+/// Theorem 1: shifts process i's steps by x[i].  Recomputes clock offsets
+/// and message endpoint times; operation invocation/response times move with
+/// their process's steps.  The input record is not modified.
+[[nodiscard]] sim::RunRecord shift_run(const sim::RunRecord& run, const std::vector<sim::Time>& x);
+
+/// One admissibility violation found in a record.
+struct Violation {
+  enum class Kind { kSkew, kDelayLow, kDelayHigh, kUnreceivedTooLate } kind;
+  std::string detail;
+};
+
+struct AdmissibilityReport {
+  bool admissible = true;
+  sim::Time max_skew = 0;
+  sim::Time min_delay = 0;  ///< over received messages (0 if none)
+  sim::Time max_delay = 0;
+  std::vector<Violation> violations;
+};
+
+/// Checks the two admissibility conditions of Section 2.2: clock skew at
+/// most eps, and received-message delays within [d-u, d] (plus the
+/// unreceived-message condition: if a message to p has no receive, p's view
+/// must end before send + d).
+[[nodiscard]] AdmissibilityReport check_admissibility(const sim::RunRecord& run);
+
+/// Extracts the pair-wise uniform delay matrix realized by a record's
+/// messages.  Entries for process pairs with no messages are filled with
+/// `fill`.  Returns nullopt if some pair's messages have non-uniform delays.
+[[nodiscard]] std::optional<std::vector<std::vector<sim::Time>>> extract_delay_matrix(
+    const sim::RunRecord& run, sim::Time fill);
+
+/// Lemma 2: chops run fragment `run`, whose messages have pair-wise uniform
+/// delays given by `matrix` with exactly one invalid entry (src, dst), at
+/// parameter delta in [d-u, d].  Steps of dst at or after
+/// t* = (first send src->dst) + min(matrix[src][dst], delta) are dropped;
+/// steps of every other process i are dropped from t* + shortestpath(dst, i)
+/// on.  Messages whose receive falls beyond the receiver's cut become
+/// unreceived; operations whose response falls beyond the cut become
+/// incomplete.  Throws if the number of invalid entries is not exactly one.
+[[nodiscard]] sim::RunRecord chop_run(const sim::RunRecord& run,
+                                      const std::vector<std::vector<sim::Time>>& matrix,
+                                      sim::Time delta);
+
+/// All-pairs shortest path over the delay matrix (used by chop).
+[[nodiscard]] std::vector<std::vector<sim::Time>> shortest_paths(
+    const std::vector<std::vector<sim::Time>>& matrix);
+
+}  // namespace lintime::shift

@@ -1,0 +1,109 @@
+#pragma once
+// Message-delay models.  The paper's admissibility condition only requires
+// delays in [d-u, d]; its lower-bound constructions use specific pair-wise
+// uniform delay matrices, so the simulator lets the "adversary" choose any
+// per-message delay via these models.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sim/model_params.hpp"
+
+namespace lintime::sim {
+
+/// Chooses the delay for one message.  `seq` is the global send sequence
+/// number (deterministic), so scripted adversaries can target individual
+/// messages.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  [[nodiscard]] virtual Time delay(ProcId src, ProcId dst, Time send_real, std::uint64_t seq) = 0;
+};
+
+/// All messages take the same delay (default: the maximum d, the worst case
+/// the upper-bound proofs are stated against).
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Time delay) : delay_(delay) {}
+  [[nodiscard]] Time delay(ProcId, ProcId, Time, std::uint64_t) override { return delay_; }
+
+ private:
+  Time delay_;
+};
+
+/// Pair-wise uniform delays from an n-by-n matrix (the shape every
+/// lower-bound construction in the paper uses; see Section 2.4).
+class MatrixDelay final : public DelayModel {
+ public:
+  explicit MatrixDelay(std::vector<std::vector<Time>> matrix) : matrix_(std::move(matrix)) {}
+
+  /// Builds the constant matrix d_ij = value.
+  static MatrixDelay uniform(int n, Time value) {
+    return MatrixDelay(
+        std::vector<std::vector<Time>>(static_cast<std::size_t>(n),
+                                       std::vector<Time>(static_cast<std::size_t>(n), value)));
+  }
+
+  [[nodiscard]] Time delay(ProcId src, ProcId dst, Time, std::uint64_t) override {
+    return matrix_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+  }
+
+  [[nodiscard]] const std::vector<std::vector<Time>>& matrix() const { return matrix_; }
+  [[nodiscard]] Time& at(ProcId src, ProcId dst) {
+    return matrix_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+  }
+
+ private:
+  std::vector<std::vector<Time>> matrix_;
+};
+
+/// Independent uniformly random delays in [lo, hi]; deterministic per seed.
+class UniformRandomDelay final : public DelayModel {
+ public:
+  UniformRandomDelay(Time lo, Time hi, std::uint64_t seed) : dist_(lo, hi), rng_(seed) {}
+
+  [[nodiscard]] Time delay(ProcId, ProcId, Time, std::uint64_t) override { return dist_(rng_); }
+
+ private:
+  std::uniform_real_distribution<Time> dist_;
+  std::mt19937_64 rng_;
+};
+
+/// Delegates to `before` for messages sent strictly before `switch_time`,
+/// and to `after` from then on.  The lower-bound constructions run a quiet
+/// prefix under one matrix and the adversarial suffix under another.
+class PiecewiseDelay final : public DelayModel {
+ public:
+  PiecewiseDelay(std::shared_ptr<DelayModel> before, Time switch_time,
+                 std::shared_ptr<DelayModel> after)
+      : before_(std::move(before)), after_(std::move(after)), switch_time_(switch_time) {}
+
+  [[nodiscard]] Time delay(ProcId src, ProcId dst, Time send_real, std::uint64_t seq) override {
+    DelayModel& m = (send_real < switch_time_) ? *before_ : *after_;
+    return m.delay(src, dst, send_real, seq);
+  }
+
+ private:
+  std::shared_ptr<DelayModel> before_;
+  std::shared_ptr<DelayModel> after_;
+  Time switch_time_;
+};
+
+/// Arbitrary function-based adversary.
+class FunctionDelay final : public DelayModel {
+ public:
+  using Fn = std::function<Time(ProcId, ProcId, Time, std::uint64_t)>;
+  explicit FunctionDelay(Fn fn) : fn_(std::move(fn)) {}
+
+  [[nodiscard]] Time delay(ProcId src, ProcId dst, Time send_real, std::uint64_t seq) override {
+    return fn_(src, dst, send_real, seq);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace lintime::sim

@@ -1,0 +1,42 @@
+#pragma once
+// The parameters of the paper's partially synchronous system model
+// (Section 2.2): n processes, message delays in [d-u, d], clocks
+// synchronized to within eps, no drift, no failures.
+
+#include <stdexcept>
+#include <string>
+
+namespace lintime::sim {
+
+using ProcId = int;
+using Time = double;  ///< real time and local clock time (reals, as in the paper)
+
+struct ModelParams {
+  int n = 3;          ///< number of processes (paper: n >= 2 or 3 depending on theorem)
+  Time d = 10.0;      ///< maximum message delay
+  Time u = 2.0;       ///< delay uncertainty; delays lie in [d-u, d]
+  Time eps = 1.0;     ///< clock skew bound
+
+  [[nodiscard]] Time min_delay() const { return d - u; }
+
+  /// The optimal achievable skew (1 - 1/n) u from clock synchronization
+  /// [Lundelius-Lynch]; the paper's examples instantiate eps with this.
+  [[nodiscard]] Time optimal_eps() const { return (1.0 - 1.0 / n) * u; }
+
+  /// min{eps, u, d/3}: the "m" of Theorems 4 and 5.
+  [[nodiscard]] Time m() const {
+    Time m = eps;
+    if (u < m) m = u;
+    if (d / 3.0 < m) m = d / 3.0;
+    return m;
+  }
+
+  void validate() const {
+    if (n < 2) throw std::invalid_argument("ModelParams: n must be >= 2");
+    if (d <= 0) throw std::invalid_argument("ModelParams: d must be > 0");
+    if (u < 0 || u > d) throw std::invalid_argument("ModelParams: need 0 <= u <= d");
+    if (eps < 0) throw std::invalid_argument("ModelParams: eps must be >= 0");
+  }
+};
+
+}  // namespace lintime::sim

@@ -1,0 +1,36 @@
+#include "sim/run_record.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lintime::sim {
+
+std::string OpRecord::to_string() const {
+  std::ostringstream os;
+  os << "p" << proc << ":" << op << "(" << arg.to_string() << ") -> " << ret.to_string() << " @ ["
+     << invoke_real << ", " << response_real << "]";
+  return os.str();
+}
+
+Time RunRecord::last_time() const {
+  Time t = 0;
+  for (const auto& s : steps) t = std::max(t, s.real_time);
+  return t;
+}
+
+Time RunRecord::first_time() const {
+  if (steps.empty()) return 0;
+  Time t = steps.front().real_time;
+  for (const auto& s : steps) t = std::min(t, s.real_time);
+  return t;
+}
+
+std::vector<StepRecord> RunRecord::view_of(ProcId p) const {
+  std::vector<StepRecord> out;
+  for (const auto& s : steps) {
+    if (s.proc == p) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace lintime::sim

@@ -1,0 +1,35 @@
+#pragma once
+// Run-record serialization: a line-oriented, human-readable text format for
+// dumping and reloading RunRecords.  Used to archive adversarial runs from
+// the shifting experiments, to diff shifted/chopped records in review, and
+// by round-trip tests.
+//
+// Format (one record per line, '#' comments allowed):
+//   params <n> <d> <u> <eps>
+//   offset <proc> <c>
+//   step <proc> <real> <clock> <trigger> <msg_id> <timer_id> <responded>
+//        ... <op> <arg> <response> <sent_id>...   (one physical line)
+//   msg <id> <src> <dst> <send> <received> <recv>
+//   op <uid> <proc> <invoke> <response> <op> <arg> <ret>
+// Values are encoded with Value::to_string-compatible escaping (nil, int,
+// "str", [v, ...]); real times are printed with full precision.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/run_record.hpp"
+
+namespace lintime::sim {
+
+/// Writes `record` to `os`.  Throws std::ios_base::failure on stream errors.
+void write_record(std::ostream& os, const RunRecord& record);
+
+/// Parses a record previously written by write_record.  Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] RunRecord read_record(std::istream& is);
+
+/// Convenience: to/from string.
+[[nodiscard]] std::string record_to_string(const RunRecord& record);
+[[nodiscard]] RunRecord record_from_string(const std::string& text);
+
+}  // namespace lintime::sim

@@ -1,0 +1,286 @@
+#include "sim/world.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lintime::sim {
+
+namespace {
+
+// Delay-validity comparisons tolerate tiny floating-point error; the model's
+// admissibility bounds are closed intervals.
+constexpr Time kTol = 1e-7;
+
+// All event times are snapped to a fixed grid so that boundaries that are
+// mathematically equal but computed along different floating-point addition
+// paths (e.g. a response at t0 + (d+eps) + (X+eps) vs. an invocation at
+// (t0 + X+eps) + (d+eps)) compare exactly equal.  The paper's model works
+// over the reals where such boundaries coincide; without snapping, one-ulp
+// differences create spurious real-time precedence edges that contradict the
+// timestamp tie-breaking and make correct runs look non-linearizable.
+constexpr Time kGrid = 1e9;  // resolution 1e-9 time units
+
+Time snap(Time t) { return std::round(t * kGrid) / kGrid; }
+
+}  // namespace
+
+/// Per-step context handed to the process being dispatched.  Collects the
+/// step's side effects (sent messages, response) into the trace.
+class World::ContextImpl final : public Context {
+ public:
+  ContextImpl(World& world, ProcId self, StepRecord& step)
+      : world_(world), self_(self), step_(step) {}
+
+  [[nodiscard]] ProcId self() const override { return self_; }
+  [[nodiscard]] int n() const override { return world_.config_.params.n; }
+  [[nodiscard]] const ModelParams& params() const override { return world_.config_.params; }
+
+  [[nodiscard]] Time local_time() const override {
+    const auto i = static_cast<std::size_t>(self_);
+    return snap(world_.now_ * world_.config_.clock_rates[i] +
+                world_.config_.clock_offsets[i]);
+  }
+
+  void send(ProcId dst, std::any payload) override {
+    if (dst == self_ || dst < 0 || dst >= n()) {
+      throw std::invalid_argument("send: bad destination " + std::to_string(dst));
+    }
+    const std::uint64_t id = world_.next_message_id_++;
+    if (world_.config_.drop_probability > 0) {
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(world_.drop_rng_) < world_.config_.drop_probability) {
+        // Dropped: recorded as sent-but-unreceived; no delivery event.
+        MessageRecord rec;
+        rec.id = id;
+        rec.src = self_;
+        rec.dst = dst;
+        rec.send_real = world_.now_;
+        rec.received = false;
+        world_.record_.messages.push_back(rec);
+        step_.sent_message_ids.push_back(id);
+        return;
+      }
+    }
+    const Time delay =
+        world_.config_.delays->delay(self_, dst, world_.now_, id);
+    if (world_.config_.enforce_valid_delays) {
+      const auto& p = world_.config_.params;
+      if (delay < p.min_delay() - kTol || delay > p.d + kTol) {
+        throw std::logic_error("delay model produced invalid delay " + std::to_string(delay) +
+                               " outside [" + std::to_string(p.min_delay()) + ", " +
+                               std::to_string(p.d) + "]");
+      }
+    }
+    MessageRecord rec;
+    rec.id = id;
+    rec.src = self_;
+    rec.dst = dst;
+    rec.send_real = world_.now_;
+    rec.recv_real = snap(world_.now_ + delay);
+    rec.received = true;  // reliable network: everything sent is delivered
+    world_.record_.messages.push_back(rec);
+    world_.in_flight_[id] = PendingMessage{self_, dst, std::move(payload)};
+    step_.sent_message_ids.push_back(id);
+
+    Event ev;
+    ev.when = rec.recv_real;
+    ev.kind = Event::Kind::kDeliver;
+    ev.proc = dst;
+    ev.message_id = id;
+    world_.push_event(std::move(ev));
+  }
+
+  void broadcast(std::any payload) override {
+    for (ProcId p = 0; p < n(); ++p) {
+      if (p != self_) send(p, payload);
+    }
+  }
+
+  TimerId set_timer(Time delay, std::any data) override {
+    if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
+    const std::uint64_t id = world_.next_timer_id_++;
+    world_.timers_[id] = PendingTimer{self_, std::move(data)};
+    Event ev;
+    // A local-clock duration takes delay / rate real time (rate 1, the
+    // paper's model, makes them equal).
+    const Time rate = world_.config_.clock_rates[static_cast<std::size_t>(self_)];
+    ev.when = snap(world_.now_ + delay / rate);
+    ev.kind = Event::Kind::kTimer;
+    ev.proc = self_;
+    ev.timer_id = id;
+    world_.push_event(std::move(ev));
+    return TimerId{id};
+  }
+
+  void cancel_timer(TimerId id) override { world_.timers_.erase(id.v); }
+
+  void respond(adt::Value ret) override {
+    const auto pending = world_.pending_op_[static_cast<std::size_t>(self_)];
+    if (pending < 0) {
+      throw std::logic_error("respond: no pending invocation at p" + std::to_string(self_));
+    }
+    auto& op = world_.record_.ops[static_cast<std::size_t>(pending)];
+    op.ret = std::move(ret);
+    op.response_real = world_.now_;
+    world_.pending_op_[static_cast<std::size_t>(self_)] = -1;
+    step_.responded = true;
+    step_.response = op.ret;
+    if (world_.response_hook_) world_.response_hook_(world_, op);
+  }
+
+ private:
+  World& world_;
+  ProcId self_;
+  StepRecord& step_;
+};
+
+World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::move(config)) {
+  config_.params.validate();
+  const auto n = static_cast<std::size_t>(config_.params.n);
+  if (config_.clock_offsets.empty()) config_.clock_offsets.assign(n, 0.0);
+  if (config_.clock_offsets.size() != n) {
+    throw std::invalid_argument("WorldConfig: clock_offsets size != n");
+  }
+  if (config_.clock_rates.empty()) config_.clock_rates.assign(n, 1.0);
+  if (config_.clock_rates.size() != n) {
+    throw std::invalid_argument("WorldConfig: clock_rates size != n");
+  }
+  for (const Time r : config_.clock_rates) {
+    if (r <= 0) throw std::invalid_argument("WorldConfig: clock rates must be positive");
+  }
+  drop_rng_.seed(config_.drop_seed);
+  if (config_.enforce_valid_skew) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (std::abs(config_.clock_offsets[i] - config_.clock_offsets[j]) >
+            config_.params.eps + kTol) {
+          throw std::invalid_argument("WorldConfig: clock skew exceeds eps");
+        }
+      }
+    }
+  }
+  if (config_.delays == nullptr) {
+    config_.delays = std::make_shared<ConstantDelay>(config_.params.d);
+  }
+
+  record_.params = config_.params;
+  record_.clock_offsets = config_.clock_offsets;
+  pending_op_.assign(n, -1);
+
+  processes_.reserve(n);
+  for (ProcId p = 0; p < config_.params.n; ++p) {
+    processes_.push_back(factory(p));
+  }
+  for (ProcId p = 0; p < config_.params.n; ++p) {
+    StepRecord step;  // on_start side effects recorded against a synthetic step
+    step.proc = p;
+    step.real_time = 0;
+    step.clock_time = config_.clock_offsets[static_cast<std::size_t>(p)];
+    ContextImpl ctx(*this, p, step);
+    processes_[static_cast<std::size_t>(p)]->on_start(ctx);
+  }
+}
+
+void World::push_event(Event ev) {
+  ev.seq = next_seq_++;
+  switch (ev.kind) {
+    case Event::Kind::kDeliver:
+      ev.tie_rank = config_.timers_before_deliveries ? 1 : 0;
+      break;
+    case Event::Kind::kTimer:
+      ev.tie_rank = config_.timers_before_deliveries ? 0 : 1;
+      break;
+    case Event::Kind::kInvoke:
+      ev.tie_rank = 2;
+      break;
+  }
+  queue_.push(std::move(ev));
+}
+
+void World::invoke_at(Time when, ProcId proc, std::string op, adt::Value arg) {
+  if (proc < 0 || proc >= config_.params.n) {
+    throw std::invalid_argument("invoke_at: bad process id");
+  }
+  if (when < now_) throw std::invalid_argument("invoke_at: time in the past");
+  Event ev;
+  ev.when = snap(when);
+  ev.kind = Event::Kind::kInvoke;
+  ev.proc = proc;
+  ev.op = std::move(op);
+  ev.arg = std::move(arg);
+  push_event(std::move(ev));
+}
+
+void World::run(std::uint64_t max_events) {
+  std::uint64_t handled = 0;
+  while (!queue_.empty()) {
+    if (++handled > max_events) {
+      throw std::runtime_error("World::run: exceeded max_events; algorithm not quiescent?");
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    dispatch(ev);
+  }
+}
+
+void World::dispatch(const Event& ev) {
+  const auto pi = static_cast<std::size_t>(ev.proc);
+
+  StepRecord step;
+  step.proc = ev.proc;
+  step.real_time = now_;
+  step.clock_time = snap(now_ * config_.clock_rates[pi] + config_.clock_offsets[pi]);
+
+  switch (ev.kind) {
+    case Event::Kind::kInvoke: {
+      if (pending_op_[pi] >= 0) {
+        throw std::logic_error("invocation at p" + std::to_string(ev.proc) +
+                               " while another instance is pending (user constraint violated)");
+      }
+      step.trigger = Trigger::kInvoke;
+      step.op = ev.op;
+      step.arg = ev.arg;
+
+      OpRecord op;
+      op.proc = ev.proc;
+      op.op = ev.op;
+      op.arg = ev.arg;
+      op.invoke_real = now_;
+      op.uid = next_op_uid_++;
+      pending_op_[pi] = static_cast<std::int64_t>(record_.ops.size());
+      record_.ops.push_back(std::move(op));
+
+      ContextImpl ctx(*this, ev.proc, step);
+      processes_[pi]->on_invoke(ctx, ev.op, ev.arg);
+      break;
+    }
+    case Event::Kind::kDeliver: {
+      auto it = in_flight_.find(ev.message_id);
+      if (it == in_flight_.end()) break;  // should not happen
+      step.trigger = Trigger::kMessage;
+      step.message_id = ev.message_id;
+      PendingMessage msg = std::move(it->second);
+      in_flight_.erase(it);
+      ContextImpl ctx(*this, ev.proc, step);
+      processes_[pi]->on_message(ctx, msg.src, msg.payload);
+      break;
+    }
+    case Event::Kind::kTimer: {
+      auto it = timers_.find(ev.timer_id);
+      if (it == timers_.end()) return;  // cancelled; not a step at all
+      step.trigger = Trigger::kTimer;
+      step.timer_id = ev.timer_id;
+      std::any data = std::move(it->second.data);
+      timers_.erase(it);
+      ContextImpl ctx(*this, ev.proc, step);
+      processes_[pi]->on_timer(ctx, TimerId{ev.timer_id}, data);
+      break;
+    }
+  }
+
+  record_.steps.push_back(std::move(step));
+}
+
+}  // namespace lintime::sim

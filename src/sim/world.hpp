@@ -1,0 +1,152 @@
+#pragma once
+// World: the deterministic discrete-event simulator tying together
+// processes, the network (delay model), clocks (offsets) and the trace
+// recorder.  One World = one run of the model of Section 2.2.
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/delay_model.hpp"
+#include "sim/model_params.hpp"
+#include "sim/process.hpp"
+#include "sim/run_record.hpp"
+
+namespace lintime::sim {
+
+/// Simulator configuration.
+struct WorldConfig {
+  ModelParams params;
+  std::vector<Time> clock_offsets;  ///< size n; empty = all zero
+
+  /// EXTENSION (outside the paper's model, for the robustness bench): clock
+  /// rates per process; local_time = rate * real + offset.  Empty = all 1
+  /// (the paper's drift-free clocks).  Timer duration D set at local time L
+  /// fires when the local clock reaches L + D, i.e. after D / rate real
+  /// time.  The shifting machinery assumes rate 1 and must not be applied
+  /// to drifting records.
+  std::vector<Time> clock_rates;
+
+  /// EXTENSION: fraction of messages silently dropped (violating the
+  /// reliable-network assumption), selected deterministically per seed.
+  double drop_probability = 0;
+  std::uint64_t drop_seed = 0;
+  std::shared_ptr<DelayModel> delays;  ///< nullptr = ConstantDelay(d)
+  bool enforce_valid_delays = true;    ///< assert delays within [d-u, d]
+  bool enforce_valid_skew = true;      ///< assert |c_i - c_j| <= eps
+
+  /// ABLATION ONLY: process timer expirations before message receipts at
+  /// equal times (the opposite of the model's boundary rule).  Algorithm 1's
+  /// correctness argument (Lemma 5/6, "knows about op1 by t+d <= t'+d+eps")
+  /// permits equality, which requires receipts to be handled first; flipping
+  /// this breaks the algorithm at exact boundary ties -- demonstrated in
+  /// tests/core/ablation_test.cpp and bench/ablations.
+  bool timers_before_deliveries = false;
+};
+
+class World {
+ public:
+  using ProcessFactory = std::function<std::unique_ptr<Process>(ProcId)>;
+  using ResponseHook = std::function<void(World&, const OpRecord&)>;
+
+  World(WorldConfig config, const ProcessFactory& factory);
+
+  /// Schedules an operation invocation at `proc` at real time `when`.
+  /// Throws if this would overlap a still-pending invocation known at call
+  /// time (the model allows at most one pending instance per process); the
+  /// run loop re-checks at execution time.
+  void invoke_at(Time when, ProcId proc, std::string op, adt::Value arg);
+
+  /// Registers a hook called on every operation response; the hook may call
+  /// invoke_at (closed-loop workloads).
+  void set_response_hook(ResponseHook hook) { response_hook_ = std::move(hook); }
+
+  /// Runs until no events remain (Eventual Quiescence) or `max_events` is
+  /// exceeded (throws -- indicates a runaway algorithm).
+  void run(std::uint64_t max_events = 10'000'000);
+
+  /// Current simulated real time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  [[nodiscard]] const ModelParams& params() const { return config_.params; }
+  [[nodiscard]] const std::vector<OpRecord>& ops() const { return record_.ops; }
+  [[nodiscard]] const RunRecord& record() const { return record_; }
+
+  /// Direct access to a process (for end-of-run state inspection, e.g. the
+  /// History Oblivion checks in the shift experiments).
+  [[nodiscard]] Process& process(ProcId p) { return *processes_[static_cast<std::size_t>(p)]; }
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;  ///< tie-break: FIFO among simultaneous events
+    enum class Kind { kDeliver = 0, kTimer = 1, kInvoke = 2 } kind = Kind::kInvoke;
+    ProcId proc = 0;
+
+    // kInvoke:
+    std::string op;
+    adt::Value arg;
+    // kDeliver:
+    std::uint64_t message_id = 0;
+    // kTimer:
+    std::uint64_t timer_id = 0;
+
+    // At equal times, deliveries are processed before timers and timers
+    // before invocations (tie_rank, set at push time; the deliver-first rule
+    // can be flipped for ablation via WorldConfig).  The deliver-before-timer
+    // rule matters for correctness at exact boundary ties: Lemma 5's argument
+    // ("every process knows about op1 by t+d <= t'+d+eps before it executes
+    // op2") permits equality, in which case the message receipt must be
+    // handled before the execute timer that fires at the same instant.
+    int tie_rank = 0;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.tie_rank != b.tie_rank) return a.tie_rank > b.tie_rank;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct PendingTimer {
+    ProcId proc;
+    std::any data;
+  };
+
+  struct PendingMessage {
+    ProcId src;
+    ProcId dst;
+    std::any payload;
+  };
+
+  class ContextImpl;
+  friend class ContextImpl;
+
+  void dispatch(const Event& ev);
+  void push_event(Event ev);
+
+  WorldConfig config_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_timer_id_ = 1;
+  std::uint64_t next_message_id_ = 1;
+  std::mt19937_64 drop_rng_{0};
+  std::uint64_t next_op_uid_ = 1;
+  Time now_ = 0;
+
+  std::map<std::uint64_t, PendingTimer> timers_;      ///< live timers
+  std::map<std::uint64_t, PendingMessage> in_flight_; ///< undelivered messages
+
+  /// Pending invocation per process (index into record_.ops), or -1.
+  std::vector<std::int64_t> pending_op_;
+
+  RunRecord record_;
+  ResponseHook response_hook_;
+};
+
+}  // namespace lintime::sim

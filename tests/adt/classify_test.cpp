@@ -1,0 +1,304 @@
+// Tests pinning the empirical classifier's verdicts for every operation of
+// every shipped type -- the executable version of the paper's taxonomy
+// (Figure 11), plus the Theorem 5 discriminator machinery.
+
+#include "adt/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/counter_type.hpp"
+#include "adt/deque_type.hpp"
+#include "adt/max_register_type.hpp"
+#include "adt/pool_type.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "adt/set_type.hpp"
+#include "adt/stack_type.hpp"
+#include "adt/tree_type.hpp"
+
+namespace lintime::adt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Register
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyRegister, WriteIsPureMutatorOverwriterLastSensitive) {
+  RegisterType reg;
+  const auto c = classify_op(reg, "write");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.overwriter) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 4) << c.notes;  // = classifier bound; extends to any k
+  EXPECT_FALSE(c.pair_free) << c.notes;
+}
+
+TEST(ClassifyRegister, ReadIsPureAccessor) {
+  RegisterType reg;
+  const auto c = classify_op(reg, "read");
+  EXPECT_TRUE(c.pure_accessor()) << c.notes;
+  EXPECT_FALSE(c.pair_free) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 0) << c.notes;
+}
+
+// ---------------------------------------------------------------------------
+// RMW register
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyRmw, FetchAddIsMixedPairFree) {
+  RmwRegisterType reg;
+  const auto c = classify_op(reg, "fetch_add");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  EXPECT_TRUE(c.pair_free) << c.notes;     // the Theorem 4 class
+  EXPECT_FALSE(c.transposable) << c.notes;
+}
+
+TEST(ClassifyRmw, SwapIsMixedPairFreeOverwriter) {
+  RmwRegisterType reg;
+  const auto c = classify_op(reg, "swap");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  EXPECT_TRUE(c.pair_free) << c.notes;
+  // swap sets the whole state: whenever swap is legal after rho.op and after
+  // rho with the same return, the results coincide.
+  EXPECT_TRUE(c.overwriter) << c.notes;
+}
+
+TEST(ClassifyRmw, WriteStaysPureMutatorWithRmwPresent) {
+  RmwRegisterType reg;
+  const auto c = classify_op(reg, "write");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 4) << c.notes;
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyQueue, EnqueueIsLastSensitivePureMutatorNotOverwriter) {
+  QueueType q;
+  const auto c = classify_op(q, "enqueue");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_FALSE(c.overwriter) << c.notes;  // enqueue adds, does not overwrite
+  EXPECT_TRUE(c.transposable) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 4) << c.notes;
+}
+
+TEST(ClassifyQueue, DequeueIsMixedPairFree) {
+  QueueType q;
+  const auto c = classify_op(q, "dequeue");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  EXPECT_TRUE(c.pair_free) << c.notes;  // two dequeues of the same head conflict
+}
+
+TEST(ClassifyQueue, PeekIsPureAccessor) {
+  QueueType q;
+  const auto c = classify_op(q, "peek");
+  EXPECT_TRUE(c.pure_accessor()) << c.notes;
+}
+
+// ---------------------------------------------------------------------------
+// Stack
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyStack, PushIsLastSensitivePureMutator) {
+  StackType st;
+  const auto c = classify_op(st, "push");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_FALSE(c.overwriter) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 4) << c.notes;
+}
+
+TEST(ClassifyStack, PopIsMixedPairFree) {
+  StackType st;
+  const auto c = classify_op(st, "pop");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  EXPECT_TRUE(c.pair_free) << c.notes;
+}
+
+TEST(ClassifyStack, PeekIsPureAccessor) {
+  StackType st;
+  const auto c = classify_op(st, "peek");
+  EXPECT_TRUE(c.pure_accessor()) << c.notes;
+}
+
+// ---------------------------------------------------------------------------
+// Tree
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyTree, InsertIsPureMutatorTransposable) {
+  TreeType t;
+  const auto c = classify_op(t, "insert");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  // First-wins insert: last-sensitive at k=2 (order of two competing inserts
+  // of the same node matters) but not beyond.
+  EXPECT_EQ(c.last_sensitive_k, 2) << c.notes;
+}
+
+TEST(ClassifyTree, MoveIsLastSensitiveAtClassifierBound) {
+  TreeType t;
+  const auto c = classify_op(t, "move");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  // Last-wins re-parenting: the last of k moves of node 4 under parents at
+  // distinct depths determines its position -- k-wise last-sensitive.
+  EXPECT_EQ(c.last_sensitive_k, 4) << c.notes;
+}
+
+TEST(ClassifyTree, RemoveIsLastSensitiveAtTwo) {
+  TreeType t;
+  const auto c = classify_op(t, "remove");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 2) << c.notes;
+}
+
+TEST(ClassifyTree, DepthAndParentArePureAccessors) {
+  TreeType t;
+  EXPECT_TRUE(classify_op(t, "depth").pure_accessor());
+  EXPECT_TRUE(classify_op(t, "parent").pure_accessor());
+}
+
+// ---------------------------------------------------------------------------
+// Set / Counter: the commutative contrast cases
+// ---------------------------------------------------------------------------
+
+TEST(ClassifySet, AddIsCommutativePureMutator) {
+  SetType set;
+  const auto c = classify_op(set, "add");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 0) << c.notes;  // adds commute: Theorem 3 n/a
+}
+
+TEST(ClassifySet, AddIfAbsentIsMixedPairFree) {
+  SetType set;
+  const auto c = classify_op(set, "add_if_absent");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  // Like dequeue, pair-free with op1 == op2: two add_if_absent(v) instances
+  // both returning 1 are illegal in either order (the second returns 0), so
+  // the test-and-set style operation falls in Theorem 4's class.
+  EXPECT_TRUE(c.pair_free) << c.notes;
+}
+
+TEST(ClassifyCounter, IncIsCommutativePureMutator) {
+  CounterType ctr;
+  const auto c = classify_op(ctr, "inc");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 0) << c.notes;
+}
+
+TEST(ClassifyCounter, FetchIncIsPairFree) {
+  CounterType ctr;
+  const auto c = classify_op(ctr, "fetch_inc");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  EXPECT_TRUE(c.pair_free) << c.notes;
+}
+
+// ---------------------------------------------------------------------------
+// Pool: the deterministic resolution of the nondeterministic bag
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyPool, PutIsCommutativePureMutator) {
+  PoolType pool;
+  const auto c = classify_op(pool, "put");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 0) << c.notes;  // a bag forgets insertion order
+  EXPECT_FALSE(c.overwriter) << c.notes;
+}
+
+TEST(ClassifyPool, TakeIsMixedPairFree) {
+  // Under the min-take resolution, two takes of the same element conflict in
+  // both orders: Theorem 4's d+m applies to the deterministic pool.
+  PoolType pool;
+  const auto c = classify_op(pool, "take");
+  EXPECT_TRUE(c.mixed()) << c.notes;
+  EXPECT_TRUE(c.pair_free) << c.notes;
+}
+
+TEST(ClassifyPool, SizeIsPureAccessor) {
+  PoolType pool;
+  EXPECT_TRUE(classify_op(pool, "size").pure_accessor());
+}
+
+// ---------------------------------------------------------------------------
+// Declared vs. empirical categories agree for every op of every type.
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyConsistency, DeclaredCategoriesMatchEmpirical) {
+  const RegisterType reg;
+  const RmwRegisterType rmw;
+  const QueueType q;
+  const StackType st;
+  const TreeType tree;
+  const SetType set;
+  const CounterType ctr;
+  const PoolType pool;
+  const MaxRegisterType maxreg;
+  const DequeType deque;
+  const DataType* types[] = {&reg, &rmw, &q, &st, &tree, &set, &ctr, &pool, &maxreg, &deque};
+  for (const auto* type : types) {
+    for (const auto& c : classify_all(*type)) {
+      EXPECT_EQ(c.implied_category(), type->category(c.op))
+          << type->name() << "::" << c.op << " -- " << c.notes;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5 discriminators
+// ---------------------------------------------------------------------------
+
+TEST(Discriminator, PeekDiscriminatesEnqueueOrders) {
+  QueueType q;
+  const Sequence e1 = {Instance{"enqueue", 1, Value::nil()}};
+  const Sequence e21 = {Instance{"enqueue", 2, Value::nil()},
+                        Instance{"enqueue", 1, Value::nil()}};
+  const auto disc = find_discriminator(q, e1, e21, "peek");
+  ASSERT_TRUE(disc.has_value());
+  EXPECT_EQ(disc->ret1, Value{1});
+  EXPECT_EQ(disc->ret2, Value{2});
+}
+
+TEST(Discriminator, NoDiscriminatorForIdenticalStates) {
+  QueueType q;
+  const Sequence e1 = {Instance{"enqueue", 1, Value::nil()}};
+  EXPECT_FALSE(find_discriminator(q, e1, e1, "peek").has_value());
+}
+
+TEST(Theorem5Witness, QueueEnqueuePeekSatisfiesHypotheses) {
+  // The paper's example pair: enqueue + peek on a queue.
+  QueueType q;
+  const auto witness = find_theorem5_witness(q, "enqueue", "peek");
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(witness->disc_a.ret1, witness->disc_a.ret2);
+  EXPECT_NE(witness->disc_b.ret1, witness->disc_b.ret2);
+  EXPECT_NE(witness->disc_c.ret1, witness->disc_c.ret2);
+}
+
+TEST(Theorem5Witness, StackPushPeekFailsHypotheses) {
+  // The paper's counter-example: peek depends only on the last push, so no
+  // discriminator set exists.
+  StackType st;
+  EXPECT_FALSE(find_theorem5_witness(st, "push", "peek").has_value());
+}
+
+TEST(Theorem5Witness, TreeInsertDepthSatisfiesHypotheses) {
+  // First-wins insert + depth (the Table 4 "Insert + Depth" row).
+  TreeType t;
+  EXPECT_TRUE(find_theorem5_witness(t, "insert", "depth").has_value());
+}
+
+TEST(Theorem5Witness, TreeMoveDepthSatisfiedOnlyByDistinctChildren) {
+  // Two moves of the *same* child are mutually overwriting (the last wins),
+  // so they admit no discriminators; but moves of two distinct children
+  // change disjoint parts of the state and depth() tells the orders apart,
+  // so the existential hypotheses of Theorem 5 are satisfied.
+  TreeType t;
+  EXPECT_TRUE(find_theorem5_witness(t, "move", "depth").has_value());
+}
+
+}  // namespace
+}  // namespace lintime::adt

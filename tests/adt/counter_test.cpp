@@ -1,0 +1,51 @@
+// Sequential semantics of the counter.
+
+#include "adt/counter_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(CounterTest, StartsAtZero) {
+  CounterType c;
+  auto s = c.make_initial_state();
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{0});
+}
+
+TEST(CounterTest, IncAdds) {
+  CounterType c;
+  auto s = c.make_initial_state();
+  s->apply("inc", 5);
+  s->apply("inc", 3);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{8});
+}
+
+TEST(CounterTest, FetchIncReturnsOld) {
+  CounterType c;
+  auto s = c.make_initial_state();
+  EXPECT_EQ(s->apply("fetch_inc", Value::nil()), Value{0});
+  EXPECT_EQ(s->apply("fetch_inc", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{2});
+}
+
+TEST(CounterTest, IncsCommute) {
+  CounterType c;
+  auto a = c.make_initial_state();
+  auto b = c.make_initial_state();
+  a->apply("inc", 1);
+  a->apply("inc", 2);
+  b->apply("inc", 2);
+  b->apply("inc", 1);
+  EXPECT_EQ(a->canonical(), b->canonical());
+}
+
+TEST(CounterTest, NegativeInc) {
+  CounterType c;
+  auto s = c.make_initial_state();
+  s->apply("inc", -4);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{-4});
+}
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,210 @@
+// Tests for the sequence-level helpers (legality, completion, equivalence)
+// and for the paper's three data-type constraints (Prefix Closure,
+// Completeness, Determinism), checked as properties over all shipped types.
+
+#include "adt/data_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adt/counter_type.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "adt/set_type.hpp"
+#include "adt/stack_type.hpp"
+#include "adt/tree_type.hpp"
+
+namespace lintime::adt {
+namespace {
+
+Instance inst(const std::string& op, Value arg, Value ret) {
+  return Instance{op, std::move(arg), std::move(ret)};
+}
+
+TEST(DataTypeTest, RunSequenceAcceptsLegal) {
+  QueueType queue;
+  const Sequence seq = {
+      inst("enqueue", 1, Value::nil()),
+      inst("enqueue", 2, Value::nil()),
+      inst("dequeue", Value::nil(), 1),
+      inst("peek", Value::nil(), 2),
+  };
+  EXPECT_TRUE(is_legal(queue, seq));
+}
+
+TEST(DataTypeTest, RunSequenceRejectsIllegal) {
+  QueueType queue;
+  const Sequence seq = {
+      inst("enqueue", 1, Value::nil()),
+      inst("dequeue", Value::nil(), 2),  // wrong return
+  };
+  EXPECT_FALSE(is_legal(queue, seq));
+}
+
+TEST(DataTypeTest, EmptySequenceIsLegal) {
+  QueueType queue;
+  EXPECT_TRUE(is_legal(queue, {}));
+}
+
+TEST(DataTypeTest, LegalReturnComputesUniqueResponse) {
+  QueueType queue;
+  const Sequence prefix = {inst("enqueue", 7, Value::nil())};
+  EXPECT_EQ(legal_return(queue, prefix, "peek", Value::nil()), Value{7});
+}
+
+TEST(DataTypeTest, LegalReturnThrowsOnIllegalPrefix) {
+  QueueType queue;
+  const Sequence bad = {inst("dequeue", Value::nil(), 9)};
+  EXPECT_THROW((void)legal_return(queue, bad, "peek", Value::nil()), std::invalid_argument);
+}
+
+TEST(DataTypeTest, CompleteBundlesInvocationWithResponse) {
+  RegisterType reg;
+  const Instance w = complete(reg, {}, "write", 5);
+  EXPECT_EQ(w.ret, Value::nil());
+  const Instance r = complete(reg, {w}, "read", Value::nil());
+  EXPECT_EQ(r.ret, Value{5});
+}
+
+TEST(DataTypeTest, EquivalentDetectsEqualStates) {
+  RegisterType reg;
+  const Sequence a = {inst("write", 3, Value::nil())};
+  const Sequence b = {inst("write", 1, Value::nil()), inst("write", 3, Value::nil())};
+  EXPECT_TRUE(equivalent(reg, a, b));
+}
+
+TEST(DataTypeTest, EquivalentDetectsDifferentStates) {
+  RegisterType reg;
+  const Sequence a = {inst("write", 3, Value::nil())};
+  const Sequence b = {inst("write", 4, Value::nil())};
+  EXPECT_FALSE(equivalent(reg, a, b));
+}
+
+TEST(DataTypeTest, SpecLookupThrowsOnUnknownOp) {
+  QueueType queue;
+  EXPECT_THROW((void)queue.spec("nonsense"), std::invalid_argument);
+}
+
+TEST(DataTypeTest, OpsInCategoryFiltersCorrectly) {
+  QueueType queue;
+  EXPECT_EQ(queue.ops_in_category(OpCategory::kPureMutator),
+            std::vector<std::string>{"enqueue"});
+  EXPECT_EQ(queue.ops_in_category(OpCategory::kMixed), std::vector<std::string>{"dequeue"});
+  EXPECT_EQ(queue.ops_in_category(OpCategory::kPureAccessor), std::vector<std::string>{"peek"});
+}
+
+// ---------------------------------------------------------------------------
+// The paper's L(T) constraints as properties over every shipped type.
+// ---------------------------------------------------------------------------
+
+class AllTypesTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<DataType> make_type() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<RegisterType>();
+      case 1: return std::make_unique<RmwRegisterType>();
+      case 2: return std::make_unique<QueueType>();
+      case 3: return std::make_unique<StackType>();
+      case 4: return std::make_unique<TreeType>();
+      case 5: return std::make_unique<SetType>();
+      default: return std::make_unique<CounterType>();
+    }
+  }
+
+  /// A short pseudo-random legal sequence.
+  Sequence sample_sequence(const DataType& type, int len, unsigned seed) const {
+    Sequence seq;
+    auto state = type.make_initial_state();
+    unsigned rng = seed;
+    auto next = [&rng] {
+      rng = rng * 1664525u + 1013904223u;
+      return rng >> 8;
+    };
+    for (int i = 0; i < len; ++i) {
+      const auto& spec = type.ops()[next() % type.ops().size()];
+      const auto args = type.sample_args(spec.name);
+      const Value arg = args[next() % args.size()];
+      const Value ret = state->apply(spec.name, arg);
+      seq.push_back(Instance{spec.name, arg, ret});
+    }
+    return seq;
+  }
+};
+
+TEST_P(AllTypesTest, GeneratedSequencesAreLegal) {
+  auto type = make_type();
+  for (unsigned seed = 1; seed <= 20; ++seed) {
+    EXPECT_TRUE(is_legal(*type, sample_sequence(*type, 8, seed)));
+  }
+}
+
+TEST_P(AllTypesTest, PrefixClosure) {
+  auto type = make_type();
+  const Sequence seq = sample_sequence(*type, 10, 42);
+  for (std::size_t len = 0; len <= seq.size(); ++len) {
+    EXPECT_TRUE(is_legal(*type, Sequence(seq.begin(), seq.begin() + static_cast<long>(len))));
+  }
+}
+
+TEST_P(AllTypesTest, CompletenessEveryInvocationHasAResponse) {
+  auto type = make_type();
+  const Sequence prefix = sample_sequence(*type, 6, 7);
+  for (const auto& spec : type->ops()) {
+    for (const auto& arg : type->sample_args(spec.name)) {
+      Sequence extended = prefix;
+      extended.push_back(complete(*type, prefix, spec.name, arg));
+      EXPECT_TRUE(is_legal(*type, extended));
+    }
+  }
+}
+
+TEST_P(AllTypesTest, DeterminismNoSecondLegalResponse) {
+  auto type = make_type();
+  const Sequence prefix = sample_sequence(*type, 6, 13);
+  for (const auto& spec : type->ops()) {
+    for (const auto& arg : type->sample_args(spec.name)) {
+      const Value ret = legal_return(*type, prefix, spec.name, arg);
+      // Any instance with a different return value must be illegal.
+      Sequence extended = prefix;
+      extended.push_back(Instance{spec.name, arg, Value{ret == Value{-999} ? -998 : -999}});
+      EXPECT_FALSE(is_legal(*type, extended));
+    }
+  }
+}
+
+TEST_P(AllTypesTest, CloneIsDeepAndIndependent) {
+  auto type = make_type();
+  auto state = type->make_initial_state();
+  const auto& mutators = type->ops_in_category(OpCategory::kPureMutator);
+  if (mutators.empty()) GTEST_SKIP();
+  auto snapshot = state->clone();
+  const std::string before = snapshot->canonical();
+  state->apply(mutators[0], type->sample_args(mutators[0])[0]);
+  EXPECT_EQ(snapshot->canonical(), before);
+}
+
+TEST_P(AllTypesTest, TypeHasAccessorAndMutator) {
+  // Section 2.1: we only consider data types with at least one accessor and
+  // at least one mutator.
+  auto type = make_type();
+  bool has_accessor = false, has_mutator = false;
+  for (const auto& spec : type->ops()) {
+    has_accessor |= spec.is_accessor();
+    has_mutator |= spec.is_mutator();
+  }
+  EXPECT_TRUE(has_accessor);
+  EXPECT_TRUE(has_mutator);
+}
+
+std::string all_types_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"Register", "RmwRegister", "Queue", "Stack",
+                                "Tree",     "Set",         "Counter"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, AllTypesTest, ::testing::Range(0, 7), all_types_name);
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,91 @@
+// Sequential semantics and taxonomy of the deque -- the type where the same
+// accessor satisfies Theorem 5's hypotheses with one mutator (push_back +
+// front, queue-like) and not the other (push_front + front, stack-like).
+
+#include "adt/deque_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/classify.hpp"
+
+namespace lintime::adt {
+namespace {
+
+TEST(DequeTest, BothEndsEmptyReturnNil) {
+  DequeType dq;
+  auto s = dq.make_initial_state();
+  EXPECT_EQ(s->apply("pop_front", Value::nil()), Value::nil());
+  EXPECT_EQ(s->apply("pop_back", Value::nil()), Value::nil());
+  EXPECT_EQ(s->apply("front", Value::nil()), Value::nil());
+  EXPECT_EQ(s->apply("back", Value::nil()), Value::nil());
+}
+
+TEST(DequeTest, QueueBehaviour) {
+  DequeType dq;
+  auto s = dq.make_initial_state();
+  s->apply("push_back", 1);
+  s->apply("push_back", 2);
+  EXPECT_EQ(s->apply("pop_front", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("pop_front", Value::nil()), Value{2});
+}
+
+TEST(DequeTest, StackBehaviour) {
+  DequeType dq;
+  auto s = dq.make_initial_state();
+  s->apply("push_back", 1);
+  s->apply("push_back", 2);
+  EXPECT_EQ(s->apply("pop_back", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("pop_back", Value::nil()), Value{1});
+}
+
+TEST(DequeTest, MixedEnds) {
+  DequeType dq;
+  auto s = dq.make_initial_state();
+  s->apply("push_front", 2);
+  s->apply("push_front", 1);
+  s->apply("push_back", 3);
+  EXPECT_EQ(s->apply("front", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("back", Value::nil()), Value{3});
+  EXPECT_EQ(s->apply("pop_back", Value::nil()), Value{3});
+  EXPECT_EQ(s->apply("pop_front", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("front", Value::nil()), Value{2});
+}
+
+TEST(ClassifyDeque, PushesAreLastSensitivePureMutators) {
+  DequeType dq;
+  for (const char* op : {"push_front", "push_back"}) {
+    const auto c = classify_op(dq, op);
+    EXPECT_TRUE(c.pure_mutator()) << op << ": " << c.notes;
+    EXPECT_TRUE(c.transposable) << op << ": " << c.notes;
+    EXPECT_EQ(c.last_sensitive_k, 4) << op << ": " << c.notes;
+  }
+}
+
+TEST(ClassifyDeque, PopsArePairFreeMixed) {
+  DequeType dq;
+  for (const char* op : {"pop_front", "pop_back"}) {
+    const auto c = classify_op(dq, op);
+    EXPECT_TRUE(c.mixed()) << op << ": " << c.notes;
+    EXPECT_TRUE(c.pair_free) << op << ": " << c.notes;
+  }
+}
+
+TEST(ClassifyDeque, EndsArePureAccessors) {
+  DequeType dq;
+  EXPECT_TRUE(classify_op(dq, "front").pure_accessor());
+  EXPECT_TRUE(classify_op(dq, "back").pure_accessor());
+}
+
+TEST(ClassifyDeque, Theorem5AppliesPerEndExactlyLikeQueueVsStack) {
+  // push_back + front: the paper's queue example.  push_front + front: the
+  // paper's stack counterexample.  Same object, same accessor.
+  DequeType dq;
+  EXPECT_TRUE(find_theorem5_witness(dq, "push_back", "front").has_value());
+  EXPECT_FALSE(find_theorem5_witness(dq, "push_front", "front").has_value());
+  // And symmetrically for back.
+  EXPECT_TRUE(find_theorem5_witness(dq, "push_front", "back").has_value());
+  EXPECT_FALSE(find_theorem5_witness(dq, "push_back", "back").has_value());
+}
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,68 @@
+// Sequential semantics and classification of the max-register.
+
+#include "adt/max_register_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/classify.hpp"
+
+namespace lintime::adt {
+namespace {
+
+TEST(MaxRegisterTest, KeepsMaximum) {
+  MaxRegisterType reg;
+  auto s = reg.make_initial_state();
+  s->apply("write_max", 5);
+  s->apply("write_max", 3);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{5});
+  s->apply("write_max", 9);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{9});
+}
+
+TEST(MaxRegisterTest, InitialValueActsAsFloor) {
+  MaxRegisterType reg(10);
+  auto s = reg.make_initial_state();
+  s->apply("write_max", 4);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{10});
+}
+
+TEST(MaxRegisterTest, WritesCommute) {
+  MaxRegisterType reg;
+  auto a = reg.make_initial_state();
+  auto b = reg.make_initial_state();
+  a->apply("write_max", 2);
+  a->apply("write_max", 7);
+  b->apply("write_max", 7);
+  b->apply("write_max", 2);
+  EXPECT_EQ(a->canonical(), b->canonical());
+}
+
+TEST(MaxRegisterTest, WriteIsIdempotent) {
+  MaxRegisterType reg;
+  auto s = reg.make_initial_state();
+  s->apply("write_max", 5);
+  const std::string once = s->canonical();
+  s->apply("write_max", 5);
+  EXPECT_EQ(s->canonical(), once);
+}
+
+TEST(ClassifyMaxRegister, WriteMaxEscapesTheorem3) {
+  // A pure mutator that is transposable but NOT last-sensitive and NOT an
+  // overwriter: the (1-1/n)u hypothesis fails, unlike the plain register's
+  // write -- syntax does not determine the lower bound, algebra does.
+  MaxRegisterType reg;
+  const auto c = classify_op(reg, "write_max");
+  EXPECT_TRUE(c.pure_mutator()) << c.notes;
+  EXPECT_TRUE(c.transposable) << c.notes;
+  EXPECT_EQ(c.last_sensitive_k, 0) << c.notes;
+  EXPECT_FALSE(c.overwriter) << c.notes;
+  EXPECT_FALSE(c.pair_free) << c.notes;
+}
+
+TEST(ClassifyMaxRegister, ReadIsPureAccessor) {
+  MaxRegisterType reg;
+  EXPECT_TRUE(classify_op(reg, "read").pure_accessor());
+}
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,86 @@
+// Sequential semantics of the pool (bag) and its non-deterministic spec.
+
+#include "adt/pool_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(PoolTest, TakeEmptyReturnsNil) {
+  PoolType pool;
+  auto s = pool.make_initial_state();
+  EXPECT_EQ(s->apply("take", Value::nil()), Value::nil());
+}
+
+TEST(PoolTest, DeterministicResolutionTakesSmallest) {
+  PoolType pool;
+  auto s = pool.make_initial_state();
+  s->apply("put", 3);
+  s->apply("put", 1);
+  s->apply("put", 2);
+  EXPECT_EQ(s->apply("take", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("take", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("take", Value::nil()), Value{3});
+}
+
+TEST(PoolTest, MultisetSemantics) {
+  PoolType pool;
+  auto s = pool.make_initial_state();
+  s->apply("put", 5);
+  s->apply("put", 5);
+  EXPECT_EQ(s->apply("size", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("take", Value::nil()), Value{5});
+  EXPECT_EQ(s->apply("size", Value::nil()), Value{1});
+}
+
+TEST(PoolTest, CanonicalEncodesMultiplicity) {
+  PoolType pool;
+  auto a = pool.make_initial_state();
+  auto b = pool.make_initial_state();
+  a->apply("put", 1);
+  a->apply("put", 1);
+  b->apply("put", 1);
+  EXPECT_NE(a->canonical(), b->canonical());
+}
+
+TEST(PoolNondetSpecTest, TakeEnumeratesAllElements) {
+  PoolNondetSpec spec;
+  auto s = spec.make_initial_state();
+  s->apply("put", 1);
+  s->apply("put", 2);
+  s->apply("put", 2);
+  const auto outcomes = spec.outcomes(*s, "take", Value::nil());
+  ASSERT_EQ(outcomes.size(), 2u);  // distinct elements 1 and 2
+  EXPECT_EQ(outcomes[0].ret, Value{1});
+  EXPECT_EQ(outcomes[1].ret, Value{2});
+  // Removing one copy of 2 leaves the other.
+  EXPECT_NE(outcomes[1].state->canonical().find("2x1"), std::string::npos);
+}
+
+TEST(PoolNondetSpecTest, TakeEmptySingleNilOutcome) {
+  PoolNondetSpec spec;
+  auto s = spec.make_initial_state();
+  const auto outcomes = spec.outcomes(*s, "take", Value::nil());
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].ret, Value::nil());
+}
+
+TEST(PoolNondetSpecTest, PutAndSizeDeterministic) {
+  PoolNondetSpec spec;
+  auto s = spec.make_initial_state();
+  EXPECT_EQ(spec.outcomes(*s, "put", Value{4}).size(), 1u);
+  EXPECT_EQ(spec.outcomes(*s, "size", Value::nil()).size(), 1u);
+}
+
+TEST(PoolNondetSpecTest, OutcomesDoNotMutateInput) {
+  PoolNondetSpec spec;
+  auto s = spec.make_initial_state();
+  s->apply("put", 7);
+  const std::string before = s->canonical();
+  (void)spec.outcomes(*s, "take", Value::nil());
+  EXPECT_EQ(s->canonical(), before);
+}
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,74 @@
+// Sequential semantics of the FIFO queue (Table 2's object).
+
+#include "adt/queue_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(QueueTest, DequeueEmptyReturnsNil) {
+  QueueType q;
+  auto s = q.make_initial_state();
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value::nil());
+}
+
+TEST(QueueTest, PeekEmptyReturnsNil) {
+  QueueType q;
+  auto s = q.make_initial_state();
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value::nil());
+}
+
+TEST(QueueTest, FifoOrder) {
+  QueueType q;
+  auto s = q.make_initial_state();
+  s->apply("enqueue", 1);
+  s->apply("enqueue", 2);
+  s->apply("enqueue", 3);
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value{3});
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value::nil());
+}
+
+TEST(QueueTest, PeekDoesNotRemove) {
+  QueueType q;
+  auto s = q.make_initial_state();
+  s->apply("enqueue", 5);
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value{5});
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value{5});
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value{5});
+}
+
+TEST(QueueTest, InterleavedEnqueueDequeue) {
+  QueueType q;
+  auto s = q.make_initial_state();
+  s->apply("enqueue", 1);
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value{1});
+  s->apply("enqueue", 2);
+  s->apply("enqueue", 3);
+  EXPECT_EQ(s->apply("dequeue", Value::nil()), Value{2});
+  s->apply("enqueue", 4);
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value{3});
+}
+
+TEST(QueueTest, CanonicalReflectsContentAndOrder) {
+  QueueType q;
+  auto a = q.make_initial_state();
+  auto b = q.make_initial_state();
+  a->apply("enqueue", 1);
+  a->apply("enqueue", 2);
+  b->apply("enqueue", 2);
+  b->apply("enqueue", 1);
+  EXPECT_NE(a->canonical(), b->canonical());
+}
+
+TEST(QueueTest, DeclaredCategories) {
+  QueueType q;
+  EXPECT_EQ(q.category("enqueue"), OpCategory::kPureMutator);
+  EXPECT_EQ(q.category("dequeue"), OpCategory::kMixed);
+  EXPECT_EQ(q.category("peek"), OpCategory::kPureAccessor);
+}
+
+}  // namespace
+}  // namespace lintime::adt

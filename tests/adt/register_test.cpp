@@ -1,0 +1,69 @@
+// Sequential semantics of the read/write register.
+
+#include "adt/register_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(RegisterTest, InitialValueIsReturnedByRead) {
+  RegisterType reg(9);
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{9});
+}
+
+TEST(RegisterTest, DefaultInitialIsZero) {
+  RegisterType reg;
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{0});
+}
+
+TEST(RegisterTest, WriteReturnsNil) {
+  RegisterType reg;
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("write", 5), Value::nil());
+}
+
+TEST(RegisterTest, ReadReturnsLatestWrite) {
+  RegisterType reg;
+  auto s = reg.make_initial_state();
+  s->apply("write", 5);
+  s->apply("write", 8);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{8});
+}
+
+TEST(RegisterTest, ReadDoesNotChangeState) {
+  RegisterType reg;
+  auto s = reg.make_initial_state();
+  s->apply("write", 3);
+  const std::string before = s->canonical();
+  s->apply("read", Value::nil());
+  EXPECT_EQ(s->canonical(), before);
+}
+
+TEST(RegisterTest, CanonicalEncodesValue) {
+  RegisterType reg;
+  auto a = reg.make_initial_state();
+  auto b = reg.make_initial_state();
+  a->apply("write", 1);
+  b->apply("write", 2);
+  EXPECT_NE(a->canonical(), b->canonical());
+  b->apply("write", 1);
+  EXPECT_EQ(a->canonical(), b->canonical());
+}
+
+TEST(RegisterTest, UnknownOpThrows) {
+  RegisterType reg;
+  auto s = reg.make_initial_state();
+  EXPECT_THROW(s->apply("cas", 1), std::invalid_argument);
+}
+
+TEST(RegisterTest, DeclaredCategories) {
+  RegisterType reg;
+  EXPECT_EQ(reg.category("read"), OpCategory::kPureAccessor);
+  EXPECT_EQ(reg.category("write"), OpCategory::kPureMutator);
+}
+
+}  // namespace
+}  // namespace lintime::adt

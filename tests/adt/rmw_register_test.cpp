@@ -1,0 +1,56 @@
+// Sequential semantics of the RMW register (Table 1's object).
+
+#include "adt/rmw_register_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(RmwRegisterTest, FetchAddReturnsOldAndAdds) {
+  RmwRegisterType reg(10);
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("fetch_add", 5), Value{10});
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{15});
+}
+
+TEST(RmwRegisterTest, FetchAddChains) {
+  RmwRegisterType reg;
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("fetch_add", 1), Value{0});
+  EXPECT_EQ(s->apply("fetch_add", 1), Value{1});
+  EXPECT_EQ(s->apply("fetch_add", 1), Value{2});
+}
+
+TEST(RmwRegisterTest, SwapReturnsOldAndOverwrites) {
+  RmwRegisterType reg(3);
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("swap", 7), Value{3});
+  EXPECT_EQ(s->apply("swap", 9), Value{7});
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{9});
+}
+
+TEST(RmwRegisterTest, WriteStillWorks) {
+  RmwRegisterType reg;
+  auto s = reg.make_initial_state();
+  s->apply("write", 42);
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{42});
+}
+
+TEST(RmwRegisterTest, NegativeAdd) {
+  RmwRegisterType reg(5);
+  auto s = reg.make_initial_state();
+  EXPECT_EQ(s->apply("fetch_add", -3), Value{5});
+  EXPECT_EQ(s->apply("read", Value::nil()), Value{2});
+}
+
+TEST(RmwRegisterTest, DeclaredCategories) {
+  RmwRegisterType reg;
+  EXPECT_EQ(reg.category("read"), OpCategory::kPureAccessor);
+  EXPECT_EQ(reg.category("write"), OpCategory::kPureMutator);
+  EXPECT_EQ(reg.category("fetch_add"), OpCategory::kMixed);
+  EXPECT_EQ(reg.category("swap"), OpCategory::kMixed);
+}
+
+}  // namespace
+}  // namespace lintime::adt

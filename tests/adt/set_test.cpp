@@ -1,0 +1,77 @@
+// Sequential semantics of the set (commutative-mutator contrast type).
+
+#include "adt/set_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(SetTest, ContainsInitiallyFalse) {
+  SetType set;
+  auto s = set.make_initial_state();
+  EXPECT_EQ(s->apply("contains", 1), Value{0});
+}
+
+TEST(SetTest, AddThenContains) {
+  SetType set;
+  auto s = set.make_initial_state();
+  s->apply("add", 1);
+  EXPECT_EQ(s->apply("contains", 1), Value{1});
+  EXPECT_EQ(s->apply("contains", 2), Value{0});
+}
+
+TEST(SetTest, AddIsIdempotent) {
+  SetType set;
+  auto s = set.make_initial_state();
+  s->apply("add", 1);
+  s->apply("add", 1);
+  EXPECT_EQ(s->apply("size", Value::nil()), Value{1});
+}
+
+TEST(SetTest, EraseRemoves) {
+  SetType set;
+  auto s = set.make_initial_state();
+  s->apply("add", 1);
+  s->apply("erase", 1);
+  EXPECT_EQ(s->apply("contains", 1), Value{0});
+}
+
+TEST(SetTest, EraseAbsentIsNoop) {
+  SetType set;
+  auto s = set.make_initial_state();
+  const std::string before = s->canonical();
+  s->apply("erase", 5);
+  EXPECT_EQ(s->canonical(), before);
+}
+
+TEST(SetTest, SizeCounts) {
+  SetType set;
+  auto s = set.make_initial_state();
+  s->apply("add", 1);
+  s->apply("add", 2);
+  s->apply("add", 3);
+  s->apply("erase", 2);
+  EXPECT_EQ(s->apply("size", Value::nil()), Value{2});
+}
+
+TEST(SetTest, AddIfAbsentReportsInsertion) {
+  SetType set;
+  auto s = set.make_initial_state();
+  EXPECT_EQ(s->apply("add_if_absent", 4), Value{1});
+  EXPECT_EQ(s->apply("add_if_absent", 4), Value{0});
+}
+
+TEST(SetTest, AddsCommute) {
+  SetType set;
+  auto a = set.make_initial_state();
+  auto b = set.make_initial_state();
+  a->apply("add", 1);
+  a->apply("add", 2);
+  b->apply("add", 2);
+  b->apply("add", 1);
+  EXPECT_EQ(a->canonical(), b->canonical());
+}
+
+}  // namespace
+}  // namespace lintime::adt

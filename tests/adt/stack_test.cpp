@@ -1,0 +1,65 @@
+// Sequential semantics of the LIFO stack (Table 3's object).
+
+#include "adt/stack_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(StackTest, PopEmptyReturnsNil) {
+  StackType st;
+  auto s = st.make_initial_state();
+  EXPECT_EQ(s->apply("pop", Value::nil()), Value::nil());
+}
+
+TEST(StackTest, PeekEmptyReturnsNil) {
+  StackType st;
+  auto s = st.make_initial_state();
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value::nil());
+}
+
+TEST(StackTest, LifoOrder) {
+  StackType st;
+  auto s = st.make_initial_state();
+  s->apply("push", 1);
+  s->apply("push", 2);
+  s->apply("push", 3);
+  EXPECT_EQ(s->apply("pop", Value::nil()), Value{3});
+  EXPECT_EQ(s->apply("pop", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("pop", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("pop", Value::nil()), Value::nil());
+}
+
+TEST(StackTest, PeekSeesTop) {
+  StackType st;
+  auto s = st.make_initial_state();
+  s->apply("push", 1);
+  s->apply("push", 2);
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value{2});
+  s->apply("pop", Value::nil());
+  EXPECT_EQ(s->apply("peek", Value::nil()), Value{1});
+}
+
+TEST(StackTest, PeekDependsOnlyOnLastPush) {
+  // The property the paper notes before Theorem 5: in push/peek-only runs,
+  // peek is determined by the last push alone.
+  StackType st;
+  auto a = st.make_initial_state();
+  auto b = st.make_initial_state();
+  a->apply("push", 1);
+  a->apply("push", 9);
+  b->apply("push", 2);
+  b->apply("push", 9);
+  EXPECT_EQ(a->apply("peek", Value::nil()), b->apply("peek", Value::nil()));
+}
+
+TEST(StackTest, DeclaredCategories) {
+  StackType st;
+  EXPECT_EQ(st.category("push"), OpCategory::kPureMutator);
+  EXPECT_EQ(st.category("pop"), OpCategory::kMixed);
+  EXPECT_EQ(st.category("peek"), OpCategory::kPureAccessor);
+}
+
+}  // namespace
+}  // namespace lintime::adt

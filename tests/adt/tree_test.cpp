@@ -1,0 +1,161 @@
+// Sequential semantics of the simple rooted tree (Table 4's object),
+// including the algebraic properties its two insert flavours were designed
+// to provide.
+
+#include "adt/tree_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(TreeTest, RootAlwaysPresentAtDepthZero) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  EXPECT_EQ(s->apply("depth", 0), Value{0});
+}
+
+TEST(TreeTest, AbsentNodeHasDepthMinusOne) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  EXPECT_EQ(s->apply("depth", 5), Value{-1});
+}
+
+TEST(TreeTest, InsertAttachesChild) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  EXPECT_EQ(s->apply("depth", 1), Value{1});
+  EXPECT_EQ(s->apply("parent", 1), Value{0});
+}
+
+TEST(TreeTest, InsertChainGivesIncreasingDepths) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("insert", TreeType::edge(1, 2));
+  s->apply("insert", TreeType::edge(2, 3));
+  EXPECT_EQ(s->apply("depth", 3), Value{3});
+}
+
+TEST(TreeTest, InsertIsFirstWins) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("insert", TreeType::edge(0, 2));
+  s->apply("insert", TreeType::edge(1, 2));  // 2 already present: no-op
+  EXPECT_EQ(s->apply("parent", 2), Value{0});
+}
+
+TEST(TreeTest, InsertUnderAbsentParentIsNoop) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(7, 1));
+  EXPECT_EQ(s->apply("depth", 1), Value{-1});
+}
+
+TEST(TreeTest, MoveIsLastWins) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("move", TreeType::edge(0, 4));
+  s->apply("move", TreeType::edge(1, 4));
+  EXPECT_EQ(s->apply("parent", 4), Value{1});
+  EXPECT_EQ(s->apply("depth", 4), Value{2});
+}
+
+TEST(TreeTest, MoveRejectsCycle) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("insert", TreeType::edge(1, 2));
+  s->apply("move", TreeType::edge(2, 1));  // would make 1 a descendant of itself
+  EXPECT_EQ(s->apply("parent", 1), Value{0});
+}
+
+TEST(TreeTest, MoveRejectsSelfParent) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("move", TreeType::edge(1, 1));
+  EXPECT_EQ(s->apply("parent", 1), Value{0});
+}
+
+TEST(TreeTest, MoveReparentsWholeSubtree) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("insert", TreeType::edge(1, 2));
+  s->apply("insert", TreeType::edge(0, 3));
+  s->apply("move", TreeType::edge(3, 1));
+  EXPECT_EQ(s->apply("depth", 2), Value{3});  // 0 -> 3 -> 1 -> 2
+}
+
+TEST(TreeTest, RemoveLeafSucceeds) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("remove", 1);
+  EXPECT_EQ(s->apply("depth", 1), Value{-1});
+}
+
+TEST(TreeTest, RemoveInnerNodeIsNoop) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  s->apply("insert", TreeType::edge(1, 2));
+  s->apply("remove", 1);  // has child 2
+  EXPECT_EQ(s->apply("depth", 1), Value{1});
+}
+
+TEST(TreeTest, RemoveRootIsNoop) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("remove", 0);
+  EXPECT_EQ(s->apply("depth", 0), Value{0});
+}
+
+TEST(TreeTest, RemoveOrderSensitivity) {
+  // The k=2 last-sensitivity witness for remove: removing the parent
+  // succeeds only after its only child is gone.
+  TreeType t;
+  auto a = t.make_initial_state();
+  a->apply("insert", TreeType::edge(0, 1));
+  a->apply("insert", TreeType::edge(1, 2));
+  auto b = a->clone();
+
+  a->apply("remove", 2);
+  a->apply("remove", 1);  // both gone
+  b->apply("remove", 1);  // no-op: has child
+  b->apply("remove", 2);
+  EXPECT_EQ(a->apply("depth", 1), Value{-1});
+  EXPECT_EQ(b->apply("depth", 1), Value{1});
+}
+
+TEST(TreeTest, ParentOfRootIsMinusOne) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  EXPECT_EQ(s->apply("parent", 0), Value{-1});
+}
+
+TEST(TreeTest, AccessorsDoNotMutate) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  s->apply("insert", TreeType::edge(0, 1));
+  const std::string before = s->canonical();
+  s->apply("depth", 1);
+  s->apply("parent", 1);
+  EXPECT_EQ(s->canonical(), before);
+}
+
+TEST(TreeTest, MalformedInsertArgIsNoop) {
+  TreeType t;
+  auto s = t.make_initial_state();
+  const std::string before = s->canonical();
+  s->apply("insert", Value{3});                     // not a pair
+  s->apply("insert", Value{ValueVec{Value{0}}});    // too short
+  EXPECT_EQ(s->canonical(), before);
+}
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,108 @@
+// Unit tests for the Value domain.
+
+#include "adt/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lintime::adt {
+namespace {
+
+TEST(ValueTest, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_FALSE(v.is_str());
+  EXPECT_FALSE(v.is_vec());
+}
+
+TEST(ValueTest, NilFactoryEqualsDefault) { EXPECT_EQ(Value::nil(), Value{}); }
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v{42};
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+}
+
+TEST(ValueTest, NegativeInt) {
+  Value v{-7};
+  EXPECT_EQ(v.as_int(), -7);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v{"hello"};
+  EXPECT_TRUE(v.is_str());
+  EXPECT_EQ(v.as_str(), "hello");
+}
+
+TEST(ValueTest, VectorRoundTrip) {
+  Value v{ValueVec{Value{1}, Value{"x"}}};
+  ASSERT_TRUE(v.is_vec());
+  ASSERT_EQ(v.as_vec().size(), 2u);
+  EXPECT_EQ(v.as_vec()[0].as_int(), 1);
+  EXPECT_EQ(v.as_vec()[1].as_str(), "x");
+}
+
+TEST(ValueTest, NestedVector) {
+  Value inner{ValueVec{Value{1}, Value{2}}};
+  Value outer{ValueVec{inner, Value{3}}};
+  ASSERT_TRUE(outer.as_vec()[0].is_vec());
+  EXPECT_EQ(outer.as_vec()[0].as_vec()[1].as_int(), 2);
+}
+
+TEST(ValueTest, EqualityByContent) {
+  EXPECT_EQ(Value{5}, Value{5});
+  EXPECT_NE(Value{5}, Value{6});
+  EXPECT_NE(Value{5}, Value{"5"});
+  EXPECT_NE(Value{5}, Value::nil());
+  EXPECT_EQ(Value{ValueVec{Value{1}}}, Value{ValueVec{Value{1}}});
+  EXPECT_NE(Value{ValueVec{Value{1}}}, Value{ValueVec{Value{2}}});
+}
+
+TEST(ValueTest, OrderingAcrossKinds) {
+  // nil < int < string < vector
+  EXPECT_LT(Value::nil(), Value{0});
+  EXPECT_LT(Value{999}, Value{"a"});
+  EXPECT_LT(Value{"zzz"}, Value{ValueVec{}});
+}
+
+TEST(ValueTest, OrderingWithinKind) {
+  EXPECT_LT(Value{1}, Value{2});
+  EXPECT_LT(Value{"a"}, Value{"b"});
+  EXPECT_LT(Value{ValueVec{Value{1}}}, (Value{ValueVec{Value{1}, Value{0}}}));
+  EXPECT_FALSE(Value{2} < Value{1});
+  EXPECT_FALSE(Value::nil() < Value::nil());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::nil().to_string(), "nil");
+  EXPECT_EQ(Value{7}.to_string(), "7");
+  EXPECT_EQ(Value{"ab"}.to_string(), "\"ab\"");
+  EXPECT_EQ((Value{ValueVec{Value{1}, Value{2}}}).to_string(), "[1, 2]");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value{5}.hash(), Value{5}.hash());
+  EXPECT_EQ(Value{"x"}.hash(), Value{"x"}.hash());
+  EXPECT_EQ((Value{ValueVec{Value{1}, Value{2}}}).hash(),
+            (Value{ValueVec{Value{1}, Value{2}}}).hash());
+}
+
+TEST(ValueTest, HashDistinguishesTypicalValues) {
+  std::unordered_set<Value> set;
+  for (int i = 0; i < 100; ++i) set.insert(Value{i});
+  set.insert(Value::nil());
+  set.insert(Value{"a"});
+  EXPECT_EQ(set.size(), 102u);
+}
+
+TEST(ValueTest, UsableAsUnorderedSetKey) {
+  std::unordered_set<Value> set;
+  set.insert(Value{ValueVec{Value{0}, Value{1}}});
+  EXPECT_TRUE(set.contains(Value{ValueVec{Value{0}, Value{1}}}));
+  EXPECT_FALSE(set.contains(Value{ValueVec{Value{1}, Value{0}}}));
+}
+
+}  // namespace
+}  // namespace lintime::adt

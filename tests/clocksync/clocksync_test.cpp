@@ -1,0 +1,89 @@
+// Tests for the Lundelius-Lynch clock synchronization substrate: achieved
+// logical skew is at most (1 - 1/n) u under every delay assignment we throw
+// at it, including the worst-case asymmetric one.
+
+#include "clocksync/lundelius_lynch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace lintime::clocksync {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(ClockSyncTest, AlreadySynchronizedStaysSynchronized) {
+  sim::ModelParams p{4, 10.0, 2.0, 1.5};
+  const auto outcome =
+      synchronize(p, {0, 0, 0, 0}, std::make_shared<sim::ConstantDelay>(9.0));
+  EXPECT_LE(outcome.achieved_skew, outcome.optimal_skew + kTol);
+}
+
+TEST(ClockSyncTest, SymmetricDelaysGiveNearPerfectSync) {
+  // With all delays equal to d - u/2 the midpoint estimate is exact, so
+  // arbitrary hardware offsets collapse to (near) zero skew.
+  sim::ModelParams p{3, 10.0, 2.0, 100.0};
+  const auto outcome =
+      synchronize(p, {5.0, -3.0, 11.0}, std::make_shared<sim::ConstantDelay>(9.0));
+  EXPECT_NEAR(outcome.achieved_skew, 0.0, kTol);
+}
+
+TEST(ClockSyncTest, WorstCaseAsymmetryWithinOptimalBound) {
+  // Adversarial delays: everything p0 sends is fast (d-u), everything p0
+  // receives is slow (d) -- the classic worst case for estimating p0.
+  for (const int n : {2, 3, 4, 5, 8}) {
+    sim::ModelParams p{n, 10.0, 2.0, 100.0};
+    auto delays = std::make_shared<sim::FunctionDelay>(
+        [&p](sim::ProcId src, sim::ProcId, sim::Time, std::uint64_t) {
+          return src == 0 ? p.min_delay() : p.d;
+        });
+    const auto outcome = synchronize(p, std::vector<sim::Time>(static_cast<std::size_t>(n), 0.0),
+                                     delays);
+    EXPECT_LE(outcome.achieved_skew, (1.0 - 1.0 / n) * p.u + kTol) << "n=" << n;
+  }
+}
+
+TEST(ClockSyncTest, RandomDelaysWithinOptimalBound) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::ModelParams p{5, 10.0, 2.0, 100.0};
+    const auto outcome = synchronize(
+        p, {1.0, -2.0, 0.5, 3.0, -1.5},
+        std::make_shared<sim::UniformRandomDelay>(p.min_delay(), p.d, seed));
+    EXPECT_LE(outcome.achieved_skew, outcome.optimal_skew + kTol) << "seed=" << seed;
+  }
+}
+
+TEST(ClockSyncTest, AdjustmentsCancelHardwareOffsets) {
+  sim::ModelParams p{3, 10.0, 2.0, 100.0};
+  const std::vector<sim::Time> hw = {4.0, -4.0, 0.0};
+  const auto outcome = synchronize(p, hw, std::make_shared<sim::ConstantDelay>(9.0));
+  // Logical offsets are uniform across processes (common value irrelevant).
+  EXPECT_NEAR(outcome.logical_offsets[0], outcome.logical_offsets[1], kTol);
+  EXPECT_NEAR(outcome.logical_offsets[1], outcome.logical_offsets[2], kTol);
+}
+
+TEST(ClockSyncTest, OptimalSkewFormula) {
+  sim::ModelParams p{5, 10.0, 2.0, 1.0};
+  const auto outcome = synchronize(p, {0, 0, 0, 0, 0}, std::make_shared<sim::ConstantDelay>(9.0));
+  EXPECT_DOUBLE_EQ(outcome.optimal_skew, 1.6);  // (1 - 1/5) * 2
+}
+
+TEST(ClockSyncTest, WrongOffsetsSizeThrows) {
+  sim::ModelParams p{3, 10.0, 2.0, 1.0};
+  EXPECT_THROW((void)synchronize(p, {0.0}, std::make_shared<sim::ConstantDelay>(9.0)),
+               std::invalid_argument);
+}
+
+TEST(ClockSyncTest, SyncedClocksSatisfyAlgorithmOnePrecondition) {
+  // End-to-end: synchronize, then feed the achieved offsets to the model as
+  // eps -- they must fit within the paper's assumed (1-1/n)u bound used by
+  // the tables.
+  sim::ModelParams p{5, 10.0, 2.0, 100.0};
+  auto delays = std::make_shared<sim::UniformRandomDelay>(p.min_delay(), p.d, 99);
+  const auto outcome = synchronize(p, {2.0, -1.0, 0.0, 1.0, -2.0}, delays);
+  EXPECT_LE(outcome.achieved_skew, (1.0 - 1.0 / 5) * p.u + kTol);
+}
+
+}  // namespace
+}  // namespace lintime::clocksync

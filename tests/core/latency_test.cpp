@@ -1,0 +1,112 @@
+// Lemma 4's exact response times, parameterized over the tradeoff X:
+//   |AOP| = d - X,  |MOP| = X + eps,  |OOP| = d + eps (worst case; may
+// complete early when another instance's execute timer drains it first).
+
+#include <gtest/gtest.h>
+
+#include "adt/queue_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "harness/runner.hpp"
+
+namespace lintime::core {
+namespace {
+
+using adt::Value;
+using harness::Call;
+using harness::RunSpec;
+
+constexpr double kTol = 1e-9;
+
+class LatencyTest : public ::testing::TestWithParam<double> {
+ protected:
+  sim::ModelParams params() const { return sim::ModelParams{4, 10.0, 2.0, 1.5}; }
+  double X() const { return GetParam(); }
+};
+
+TEST_P(LatencyTest, PureAccessorTakesExactlyDMinusX) {
+  adt::QueueType queue;
+  RunSpec spec;
+  spec.params = params();
+  spec.X = X();
+  spec.calls = {Call{5.0, 1, "peek", Value::nil()}};
+  const auto result = harness::execute(queue, spec);
+  const auto& stats = result.stats_for("peek");
+  EXPECT_NEAR(stats.min, spec.params.d - X(), kTol);
+  EXPECT_NEAR(stats.max, spec.params.d - X(), kTol);
+}
+
+TEST_P(LatencyTest, PureMutatorTakesExactlyXPlusEps) {
+  adt::QueueType queue;
+  RunSpec spec;
+  spec.params = params();
+  spec.X = X();
+  spec.calls = {Call{5.0, 2, "enqueue", Value{1}}};
+  const auto result = harness::execute(queue, spec);
+  const auto& stats = result.stats_for("enqueue");
+  EXPECT_NEAR(stats.min, X() + spec.params.eps, kTol);
+  EXPECT_NEAR(stats.max, X() + spec.params.eps, kTol);
+}
+
+TEST_P(LatencyTest, MixedOpTakesExactlyDPlusEpsWhenSolo) {
+  adt::QueueType queue;
+  RunSpec spec;
+  spec.params = params();
+  spec.X = X();
+  spec.calls = {Call{5.0, 0, "dequeue", Value::nil()}};
+  const auto result = harness::execute(queue, spec);
+  const auto& stats = result.stats_for("dequeue");
+  EXPECT_NEAR(stats.min, spec.params.d + spec.params.eps, kTol);
+  EXPECT_NEAR(stats.max, spec.params.d + spec.params.eps, kTol);
+}
+
+TEST_P(LatencyTest, LatenciesIndependentOfActualMessageDelays) {
+  // The response times are timer-driven; the adversary cannot slow them.
+  adt::RmwRegisterType reg;
+  for (const double delay : {8.0, 9.0, 10.0}) {
+    RunSpec spec;
+    spec.params = params();
+    spec.X = X();
+    spec.delays = std::make_shared<sim::ConstantDelay>(delay);
+    spec.calls = {
+        Call{0.0, 0, "write", Value{1}},
+        Call{30.0, 1, "read", Value::nil()},
+        Call{60.0, 2, "fetch_add", Value{1}},
+    };
+    const auto result = harness::execute(reg, spec);
+    EXPECT_NEAR(result.stats_for("write").max, X() + spec.params.eps, kTol);
+    EXPECT_NEAR(result.stats_for("read").max, spec.params.d - X(), kTol);
+    EXPECT_NEAR(result.stats_for("fetch_add").max, spec.params.d + spec.params.eps, kTol);
+  }
+}
+
+TEST_P(LatencyTest, MixedOpNeverExceedsDPlusEps) {
+  // Under concurrency an OOP may respond early (drained by another
+  // instance's execute timer) but never later than d + eps.
+  adt::QueueType queue;
+  RunSpec spec;
+  spec.params = params();
+  spec.X = X();
+  const double e = spec.params.eps;
+  spec.clock_offsets = {e / 2, -e / 2, 0.0, 0.0};
+  spec.calls = {
+      Call{0.0, 0, "enqueue", Value{1}},
+      Call{0.0, 1, "dequeue", Value::nil()},
+      Call{1.0, 2, "dequeue", Value::nil()},
+      Call{2.0, 3, "enqueue", Value{2}},
+  };
+  const auto result = harness::execute(queue, spec);
+  EXPECT_LE(result.stats_for("dequeue").max, spec.params.d + spec.params.eps + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(XSweep, LatencyTest,
+                         ::testing::Values(0.0, 1.0, 2.5, 5.0, 8.5),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           std::string name = "X" + std::to_string(info.param);
+                           for (auto& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lintime::core

@@ -1,0 +1,82 @@
+// Tests for the figure renderer.
+
+#include "shift/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/queue_type.hpp"
+#include "harness/runner.hpp"
+
+namespace lintime::shift {
+namespace {
+
+using adt::Value;
+using harness::Call;
+using harness::RunSpec;
+
+sim::RunRecord small_run() {
+  adt::QueueType queue;
+  RunSpec spec;
+  spec.params = sim::ModelParams{2, 10.0, 2.0, 1.0};
+  spec.calls = {
+      Call{0.0, 0, "enqueue", Value{5}},
+      Call{20.0, 1, "peek", Value::nil()},
+  };
+  return harness::execute(queue, spec).record;
+}
+
+TEST(RenderTest, TimelineContainsOneLanePerProcess) {
+  const auto text = render_timeline(small_run());
+  EXPECT_NE(text.find("p0 "), std::string::npos);
+  EXPECT_NE(text.find("p1 "), std::string::npos);
+}
+
+TEST(RenderTest, TimelineLabelsOperations) {
+  const auto text = render_timeline(small_run());
+  EXPECT_NE(text.find("enqueue(5)"), std::string::npos);
+  EXPECT_NE(text.find("peek(nil)->5"), std::string::npos);
+}
+
+TEST(RenderTest, OperationsOrderedLeftToRight) {
+  const auto text = render_timeline(small_run());
+  // enqueue (t=0) must start left of peek (t=20) in their lanes.
+  const auto p0 = text.find("enqueue");
+  const auto p1 = text.find("peek");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  // Column within the lane: subtract position of the lane's line start.
+  const auto line_start0 = text.rfind('\n', p0);
+  const auto line_start1 = text.rfind('\n', p1);
+  EXPECT_LT(p0 - line_start0, p1 - line_start1);
+}
+
+TEST(RenderTest, WindowClipsOperations) {
+  RenderOptions opts;
+  opts.t_min = 15;
+  opts.t_max = 40;
+  const auto text = render_timeline(small_run(), opts);
+  EXPECT_EQ(text.find("enqueue"), std::string::npos);  // ended at 2.0
+  EXPECT_NE(text.find("peek"), std::string::npos);
+}
+
+TEST(RenderTest, MessagesListedOnRequest) {
+  RenderOptions opts;
+  opts.show_messages = true;
+  const auto text = render_timeline(small_run(), opts);
+  EXPECT_NE(text.find("msg#"), std::string::npos);
+  EXPECT_NE(text.find("delay 10"), std::string::npos);
+}
+
+TEST(RenderTest, DelayMatrixFlagsInvalidEntries) {
+  sim::ModelParams params{3, 10.0, 2.0, 1.0};
+  const std::vector<std::vector<double>> m = {
+      {0, 10.0, 8.5}, {11.0, 0, 9.0}, {7.0, 8.0, 0}};
+  const auto text = render_delay_matrix(m, params);
+  EXPECT_NE(text.find("10*"), std::string::npos);  // exactly d
+  EXPECT_NE(text.find("11!"), std::string::npos);  // above d
+  EXPECT_NE(text.find("7!"), std::string::npos);   // below d-u
+  EXPECT_NE(text.find("8.5"), std::string::npos);  // plain valid
+}
+
+}  // namespace
+}  // namespace lintime::shift

@@ -1,0 +1,80 @@
+// The full Theorem 4 proof pipeline (runs R1..R5, Claims 4 and 5, and the
+// final contradiction), executed live and verified mechanically.
+
+#include <gtest/gtest.h>
+
+#include "adt/queue_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "adt/stack_type.hpp"
+#include "shift/theorems.hpp"
+
+namespace lintime::shift {
+namespace {
+
+using adt::Value;
+using harness::ScriptOp;
+
+sim::ModelParams params5() { return sim::ModelParams{5, 10.0, 2.0, (1.0 - 1.0 / 5) * 2.0}; }
+
+TEST(Theorem4PipelineTest, QueueDequeue) {
+  adt::QueueType queue;
+  Theorem4Spec spec;
+  spec.op = "dequeue";
+  spec.arg0 = Value::nil();
+  spec.arg1 = Value::nil();
+  spec.rho = {ScriptOp{"enqueue", Value{7}}, ScriptOp{"enqueue", Value{8}}};
+  const auto p = theorem4_full_pipeline(queue, spec, params5());
+  EXPECT_TRUE(p.claim4_view_identity) << p.details;
+  EXPECT_TRUE(p.claim5_view_identity) << p.details;
+  EXPECT_TRUE(p.same_ret_r4_r5) << p.details;
+  EXPECT_TRUE(p.contradiction) << p.details;
+  // Both dequeues' solo values are the head.
+  EXPECT_EQ(p.ret0_solo, Value{7});
+  EXPECT_EQ(p.ret1_solo, Value{7});
+}
+
+TEST(Theorem4PipelineTest, RmwFetchAdd) {
+  adt::RmwRegisterType reg;
+  Theorem4Spec spec;
+  spec.op = "fetch_add";
+  spec.arg0 = Value{100};
+  spec.arg1 = Value{200};
+  const auto p = theorem4_full_pipeline(reg, spec, params5());
+  EXPECT_TRUE(p.ok()) << p.details;
+  EXPECT_EQ(p.ret0_solo, Value{0});
+  EXPECT_EQ(p.ret1_solo, Value{0});
+}
+
+TEST(Theorem4PipelineTest, StackPop) {
+  adt::StackType st;
+  Theorem4Spec spec;
+  spec.op = "pop";
+  spec.arg0 = Value::nil();
+  spec.arg1 = Value::nil();
+  spec.rho = {ScriptOp{"push", Value{9}}};
+  const auto p = theorem4_full_pipeline(st, spec, params5());
+  EXPECT_TRUE(p.ok()) << p.details;
+}
+
+TEST(Theorem4PipelineTest, WorksWithThreeProcesses) {
+  adt::QueueType queue;
+  Theorem4Spec spec;
+  spec.op = "dequeue";
+  spec.arg0 = Value::nil();
+  spec.arg1 = Value::nil();
+  spec.rho = {ScriptOp{"enqueue", Value{7}}};
+  const auto p = theorem4_full_pipeline(queue, spec,
+                                        sim::ModelParams{3, 10.0, 2.0, (1.0 - 1.0 / 3) * 2.0});
+  EXPECT_TRUE(p.ok()) << p.details;
+}
+
+TEST(Theorem4PipelineTest, RejectsTwoProcesses) {
+  adt::QueueType queue;
+  Theorem4Spec spec;
+  spec.op = "dequeue";
+  EXPECT_THROW((void)theorem4_full_pipeline(queue, spec, sim::ModelParams{2, 10.0, 2.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lintime::shift

@@ -1,0 +1,60 @@
+// The Theorem 5 proof pipeline (Figures 8-10) run live, reversed-role form.
+
+#include <gtest/gtest.h>
+
+#include "adt/queue_type.hpp"
+#include "adt/tree_type.hpp"
+#include "shift/theorems.hpp"
+
+namespace lintime::shift {
+namespace {
+
+using adt::Value;
+using harness::ScriptOp;
+
+TEST(Theorem5PipelineTest, QueueEnqueuePeek) {
+  adt::QueueType queue;
+  Theorem5Spec spec;
+  spec.op = "enqueue";
+  spec.arg0 = Value{1};
+  spec.arg1 = Value{2};
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  const auto p = theorem5_full_pipeline(queue, spec,
+                                        sim::ModelParams{3, 10.0, 2.0, (1.0 - 1.0 / 3) * 2.0});
+  EXPECT_TRUE(p.r1_linearizable) << p.details;
+  EXPECT_TRUE(p.aop1_misses_op0) << p.details;
+  EXPECT_TRUE(p.view_identity_r2_r3) << p.details;
+  EXPECT_TRUE(p.r2_violated) << p.details;
+  EXPECT_TRUE(p.r3_linearizable) << p.details;
+}
+
+TEST(Theorem5PipelineTest, TreeInsertDepth) {
+  adt::TreeType tree;
+  Theorem5Spec spec;
+  spec.op = "insert";
+  spec.arg0 = adt::TreeType::edge(0, 3);
+  spec.arg1 = adt::TreeType::edge(1, 3);
+  spec.aop = "depth";
+  spec.aop_arg = Value{3};
+  spec.rho = {ScriptOp{"insert", adt::TreeType::edge(0, 1)}};
+  const auto p = theorem5_full_pipeline(tree, spec,
+                                        sim::ModelParams{3, 10.0, 2.0, (1.0 - 1.0 / 3) * 2.0});
+  EXPECT_TRUE(p.ok()) << p.details;
+}
+
+TEST(Theorem5PipelineTest, FiveProcesses) {
+  adt::QueueType queue;
+  Theorem5Spec spec;
+  spec.op = "enqueue";
+  spec.arg0 = Value{1};
+  spec.arg1 = Value{2};
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  const auto p = theorem5_full_pipeline(queue, spec,
+                                        sim::ModelParams{5, 10.0, 2.0, (1.0 - 1.0 / 5) * 2.0});
+  EXPECT_TRUE(p.ok()) << p.details;
+}
+
+}  // namespace
+}  // namespace lintime::shift

@@ -1,0 +1,118 @@
+// Parameter-regime sweep for the Theorem 4/5 experiments: the bound
+// d + min{eps, u, d/3} takes a different branch depending on which term is
+// smallest, and the proofs' delay/skew constructions must work in every
+// branch.  One parameterization per regime:
+//   m = eps  :  eps < u, eps < d/3   (the paper's canonical case)
+//   m = u    :  u < eps is impossible with optimal sync (eps = (1-1/n)u < u),
+//               so we use eps slightly above u via an explicitly assumed
+//               skew bound: eps = 3, u = 2, d = 30
+//   m = d/3  :  d small relative to u, eps: d = 4.5, u = 2, eps = 1.8
+// Theorem 3's bound (1-1/k)u is delay-regime independent but is swept over
+// the same parameter sets as a robustness check.
+
+#include <gtest/gtest.h>
+
+#include "adt/queue_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "shift/theorems.hpp"
+
+namespace lintime::shift {
+namespace {
+
+using adt::Value;
+using harness::ScriptOp;
+
+struct Regime {
+  const char* name;
+  sim::ModelParams params;
+  const char* expected_branch;
+};
+
+class RegimeTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Regime regime(int idx) {
+    switch (idx) {
+      case 0:
+        return {"m_eq_eps", sim::ModelParams{3, 10.0, 2.0, (1.0 - 1.0 / 3) * 2.0}, "eps"};
+      case 1:
+        return {"m_eq_u", sim::ModelParams{3, 30.0, 2.0, 3.0}, "u"};
+      default:
+        return {"m_eq_d3", sim::ModelParams{3, 4.5, 2.0, 1.8}, "d/3"};
+    }
+  }
+};
+
+TEST_P(RegimeTest, MTakesTheExpectedBranch) {
+  const auto r = regime(GetParam());
+  const auto& p = r.params;
+  const double m = p.m();
+  switch (GetParam()) {
+    case 0: EXPECT_DOUBLE_EQ(m, p.eps); break;
+    case 1: EXPECT_DOUBLE_EQ(m, p.u); break;
+    default: EXPECT_DOUBLE_EQ(m, p.d / 3); break;
+  }
+}
+
+TEST_P(RegimeTest, Theorem4PairFreeHoldsInEveryRegime) {
+  const auto r = regime(GetParam());
+  adt::RmwRegisterType reg;
+  Theorem4Spec spec;
+  spec.op = "fetch_add";
+  spec.arg0 = Value{100};
+  spec.arg1 = Value{200};
+  const auto result = theorem4_pair_free(reg, spec, r.params);
+  EXPECT_TRUE(result.unsafe_violated) << r.name << "\n" << result.details;
+  EXPECT_TRUE(result.safe_survived) << r.name << "\n" << result.details;
+  EXPECT_DOUBLE_EQ(result.bound, r.params.d + r.params.m());
+}
+
+TEST_P(RegimeTest, Theorem4ChopBookkeepingHoldsInEveryRegime) {
+  const auto r = regime(GetParam());
+  adt::QueueType queue;
+  Theorem4Spec spec;
+  spec.op = "dequeue";
+  spec.arg0 = Value::nil();
+  spec.arg1 = Value::nil();
+  spec.rho = {ScriptOp{"enqueue", Value{7}}};
+  const auto demo = theorem4_chop_demo(queue, spec, r.params);
+  EXPECT_TRUE(demo.one_invalid_edge) << r.name << "\n" << demo.details;
+  EXPECT_TRUE(demo.chop_valid) << r.name << "\n" << demo.details;
+  EXPECT_TRUE(demo.op_survives_chop) << r.name << "\n" << demo.details;
+}
+
+TEST_P(RegimeTest, Theorem5SumHoldsInEveryRegime) {
+  const auto r = regime(GetParam());
+  adt::QueueType queue;
+  Theorem5Spec spec;
+  spec.op = "enqueue";
+  spec.arg0 = Value{1};
+  spec.arg1 = Value{2};
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  const auto result = theorem5_sum(queue, spec, r.params);
+  EXPECT_TRUE(result.unsafe_violated) << r.name << "\n" << result.details;
+  EXPECT_TRUE(result.safe_survived) << r.name << "\n" << result.details;
+}
+
+TEST_P(RegimeTest, Theorem3HoldsInEveryRegime) {
+  const auto r = regime(GetParam());
+  adt::QueueType queue;
+  Theorem3Spec spec;
+  spec.op = "enqueue";
+  spec.args = {Value{1}, Value{2}, Value{3}};
+  spec.probe = std::vector<ScriptOp>(3, ScriptOp{"dequeue", Value::nil()});
+  // Theorem 3 needs eps >= (1-1/k)u; true in all three regimes for k=3.
+  const auto result = theorem3_last_sensitive(queue, spec, r.params);
+  EXPECT_TRUE(result.unsafe_violated) << r.name << "\n" << result.details;
+  EXPECT_TRUE(result.safe_survived) << r.name << "\n" << result.details;
+}
+
+std::string regime_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"MEqualsEps", "MEqualsU", "MEqualsDThird"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, RegimeTest, ::testing::Range(0, 3), regime_name);
+
+}  // namespace
+}  // namespace lintime::shift

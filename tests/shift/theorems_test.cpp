@@ -1,0 +1,259 @@
+// Integration tests: the executable lower-bound constructions of
+// Theorems 2-5.  Each must (a) break the unsafe-but-plausible algorithm with
+// a checker-certified non-linearizable admissible run, and (b) leave the
+// standard Algorithm 1 unharmed under the identical adversary.
+
+#include "shift/theorems.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "adt/rmw_register_type.hpp"
+#include "adt/stack_type.hpp"
+#include "adt/tree_type.hpp"
+
+namespace lintime::shift {
+namespace {
+
+using adt::Value;
+using harness::ScriptOp;
+
+sim::ModelParams params(int n) { return sim::ModelParams{n, 10.0, 2.0, (1.0 - 1.0 / n) * 2.0}; }
+
+// ---------------------------------------------------------------------------
+// Theorem 2
+// ---------------------------------------------------------------------------
+
+TEST(Theorem2Test, RegisterReadAgainstFetchAdd) {
+  adt::RmwRegisterType reg;
+  Theorem2Spec spec;
+  spec.aop = "read";
+  spec.aop_arg = Value::nil();
+  spec.mutator_op = "fetch_add";
+  spec.mutator_arg = Value{5};
+  const auto result = theorem2_pure_accessor(reg, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+  EXPECT_DOUBLE_EQ(result.bound, 0.5);  // u/4
+  EXPECT_LT(result.unsafe_latency, result.bound);
+}
+
+TEST(Theorem2Test, QueuePeekAgainstDequeue) {
+  adt::QueueType queue;
+  Theorem2Spec spec;
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  spec.mutator_op = "dequeue";
+  spec.mutator_arg = Value::nil();
+  spec.rho = {ScriptOp{"enqueue", Value{1}}};  // make peek/dequeue meaningful
+  const auto result = theorem2_pure_accessor(queue, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem2Test, TreeDepthAgainstMove) {
+  adt::TreeType tree;
+  Theorem2Spec spec;
+  spec.aop = "depth";
+  spec.aop_arg = Value{4};
+  spec.mutator_op = "move";
+  spec.mutator_arg = adt::TreeType::edge(1, 4);
+  spec.rho = {ScriptOp{"insert", adt::TreeType::edge(0, 1)},
+              ScriptOp{"move", adt::TreeType::edge(0, 4)}};
+  const auto result = theorem2_pure_accessor(tree, spec, params(4));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem2Test, RequiresThreeProcesses) {
+  adt::RmwRegisterType reg;
+  Theorem2Spec spec;
+  spec.aop = "read";
+  spec.aop_arg = Value::nil();
+  spec.mutator_op = "fetch_add";
+  spec.mutator_arg = Value{1};
+  EXPECT_THROW((void)theorem2_pure_accessor(reg, spec, params(2)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3
+// ---------------------------------------------------------------------------
+
+TEST(Theorem3Test, RegisterWritesAtKEqualsN) {
+  adt::RegisterType reg;
+  Theorem3Spec spec;
+  spec.op = "write";
+  spec.args = {Value{10}, Value{20}, Value{30}, Value{40}, Value{50}};
+  spec.probe = {ScriptOp{"read", Value::nil()}};
+  const auto result = theorem3_last_sensitive(reg, spec, params(5));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+  EXPECT_DOUBLE_EQ(result.bound, (1.0 - 1.0 / 5) * 2.0);
+}
+
+TEST(Theorem3Test, QueueEnqueues) {
+  adt::QueueType queue;
+  Theorem3Spec spec;
+  spec.op = "enqueue";
+  spec.args = {Value{1}, Value{2}, Value{3}, Value{4}};
+  // Probe: dequeue everything; the order reveals which enqueue was last.
+  spec.probe = std::vector<ScriptOp>(4, ScriptOp{"dequeue", Value::nil()});
+  const auto result = theorem3_last_sensitive(queue, spec, params(4));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem3Test, StackPushes) {
+  adt::StackType st;
+  Theorem3Spec spec;
+  spec.op = "push";
+  spec.args = {Value{1}, Value{2}, Value{3}};
+  spec.probe = std::vector<ScriptOp>(3, ScriptOp{"pop", Value::nil()});
+  const auto result = theorem3_last_sensitive(st, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem3Test, TreeMoves) {
+  adt::TreeType tree;
+  Theorem3Spec spec;
+  spec.op = "move";
+  spec.args = {adt::TreeType::edge(0, 4), adt::TreeType::edge(1, 4),
+               adt::TreeType::edge(2, 4)};
+  spec.rho = {ScriptOp{"insert", adt::TreeType::edge(0, 1)},
+              ScriptOp{"insert", adt::TreeType::edge(1, 2)}};
+  spec.probe = {ScriptOp{"depth", Value{4}}, ScriptOp{"parent", Value{4}}};
+  const auto result = theorem3_last_sensitive(tree, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem3Test, KTwoUsesHalfU) {
+  adt::RegisterType reg;
+  Theorem3Spec spec;
+  spec.op = "write";
+  spec.args = {Value{1}, Value{2}};
+  spec.probe = {ScriptOp{"read", Value::nil()}};
+  const auto result = theorem3_last_sensitive(reg, spec, params(4));
+  EXPECT_DOUBLE_EQ(result.bound, 1.0);  // u/2
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4
+// ---------------------------------------------------------------------------
+
+TEST(Theorem4Test, RmwFetchAdd) {
+  adt::RmwRegisterType reg;
+  Theorem4Spec spec;
+  spec.op = "fetch_add";
+  spec.arg0 = Value{100};
+  spec.arg1 = Value{200};
+  const auto result = theorem4_pair_free(reg, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+  EXPECT_GT(result.unsafe_latency, params(3).d);  // beyond the old bound d
+  EXPECT_LT(result.unsafe_latency, result.bound);
+}
+
+TEST(Theorem4Test, QueueDequeue) {
+  adt::QueueType queue;
+  Theorem4Spec spec;
+  spec.op = "dequeue";
+  spec.arg0 = Value::nil();
+  spec.arg1 = Value::nil();
+  spec.rho = {ScriptOp{"enqueue", Value{7}}};  // both dequeues race for the head
+  const auto result = theorem4_pair_free(queue, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem4Test, StackPop) {
+  adt::StackType st;
+  Theorem4Spec spec;
+  spec.op = "pop";
+  spec.arg0 = Value::nil();
+  spec.arg1 = Value::nil();
+  spec.rho = {ScriptOp{"push", Value{7}}};
+  const auto result = theorem4_pair_free(st, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem4Test, ChopDemoBookkeeping) {
+  adt::RmwRegisterType reg;
+  Theorem4Spec spec;
+  spec.op = "fetch_add";
+  spec.arg0 = Value{100};
+  spec.arg1 = Value{200};
+  const auto demo = theorem4_chop_demo(reg, spec, params(3));
+  EXPECT_TRUE(demo.one_invalid_edge) << demo.details;
+  EXPECT_TRUE(demo.chop_valid) << demo.details;
+  EXPECT_TRUE(demo.op_survives_chop) << demo.details;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5
+// ---------------------------------------------------------------------------
+
+TEST(Theorem5Test, QueueEnqueuePeek) {
+  adt::QueueType queue;
+  Theorem5Spec spec;
+  spec.op = "enqueue";
+  spec.arg0 = Value{1};
+  spec.arg1 = Value{2};
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  const auto result = theorem5_sum(queue, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem5Test, TreeInsertDepth) {
+  adt::TreeType tree;
+  Theorem5Spec spec;
+  spec.op = "insert";
+  spec.arg0 = adt::TreeType::edge(0, 3);
+  spec.arg1 = adt::TreeType::edge(1, 3);
+  spec.aop = "depth";
+  spec.aop_arg = Value{3};
+  spec.rho = {ScriptOp{"insert", adt::TreeType::edge(0, 1)}};
+  const auto result = theorem5_sum(tree, spec, params(3));
+  EXPECT_TRUE(result.unsafe_violated) << result.details;
+  EXPECT_TRUE(result.safe_survived) << result.details;
+}
+
+TEST(Theorem5Test, ChopDemoBookkeeping) {
+  adt::QueueType queue;
+  Theorem5Spec spec;
+  spec.op = "enqueue";
+  spec.arg0 = Value{1};
+  spec.arg1 = Value{2};
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  // Needs 2m > u: with d=12, u=3, eps=2 -> m = 2, 2m = 4 > 3.
+  sim::ModelParams p{3, 12.0, 3.0, 2.0};
+  const auto demo = theorem5_chop_demo(queue, spec, p);
+  EXPECT_TRUE(demo.one_invalid_edge) << demo.details;
+  EXPECT_TRUE(demo.chop_valid) << demo.details;
+  EXPECT_TRUE(demo.op_survives_chop) << demo.details;
+}
+
+TEST(Theorem5Test, ChopDemoInapplicableWhenUMajorizesM) {
+  adt::QueueType queue;
+  Theorem5Spec spec;
+  spec.op = "enqueue";
+  spec.arg0 = Value{1};
+  spec.arg1 = Value{2};
+  spec.aop = "peek";
+  spec.aop_arg = Value::nil();
+  // 2m <= u: m = min(0.5, 4, 10/3) = 0.5, 2m = 1 <= 4.
+  sim::ModelParams p{3, 10.0, 4.0, 0.5};
+  const auto demo = theorem5_chop_demo(queue, spec, p);
+  EXPECT_FALSE(demo.ok());
+  EXPECT_NE(demo.details.find("inapplicable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lintime::shift

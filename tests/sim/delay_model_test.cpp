@@ -1,0 +1,83 @@
+// Unit tests for the delay models (the simulator's adversary interface).
+
+#include "sim/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::sim {
+namespace {
+
+TEST(DelayModelTest, ConstantDelay) {
+  ConstantDelay m(9.5);
+  EXPECT_EQ(m.delay(0, 1, 0.0, 0), 9.5);
+  EXPECT_EQ(m.delay(2, 0, 100.0, 7), 9.5);
+}
+
+TEST(DelayModelTest, MatrixDelayPerPair) {
+  MatrixDelay m({{0, 1, 2}, {3, 0, 5}, {6, 7, 0}});
+  EXPECT_EQ(m.delay(0, 1, 0.0, 0), 1);
+  EXPECT_EQ(m.delay(1, 2, 0.0, 0), 5);
+  EXPECT_EQ(m.delay(2, 0, 0.0, 0), 6);
+}
+
+TEST(DelayModelTest, MatrixUniformFactory) {
+  auto m = MatrixDelay::uniform(3, 8.0);
+  for (ProcId i = 0; i < 3; ++i) {
+    for (ProcId j = 0; j < 3; ++j) {
+      EXPECT_EQ(m.delay(i, j, 0.0, 0), 8.0);
+    }
+  }
+}
+
+TEST(DelayModelTest, MatrixAtAllowsEditing) {
+  auto m = MatrixDelay::uniform(2, 8.0);
+  m.at(0, 1) = 9.0;
+  EXPECT_EQ(m.delay(0, 1, 0.0, 0), 9.0);
+  EXPECT_EQ(m.delay(1, 0, 0.0, 0), 8.0);
+}
+
+TEST(DelayModelTest, UniformRandomInRange) {
+  UniformRandomDelay m(8.0, 10.0, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const Time d = m.delay(0, 1, 0.0, static_cast<std::uint64_t>(i));
+    EXPECT_GE(d, 8.0);
+    EXPECT_LE(d, 10.0);
+  }
+}
+
+TEST(DelayModelTest, UniformRandomDeterministicPerSeed) {
+  UniformRandomDelay a(8.0, 10.0, 7);
+  UniformRandomDelay b(8.0, 10.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.delay(0, 1, 0.0, 0), b.delay(0, 1, 0.0, 0));
+  }
+}
+
+TEST(DelayModelTest, UniformRandomDiffersAcrossSeeds) {
+  UniformRandomDelay a(8.0, 10.0, 7);
+  UniformRandomDelay b(8.0, 10.0, 8);
+  bool differ = false;
+  for (int i = 0; i < 50; ++i) {
+    if (a.delay(0, 1, 0.0, 0) != b.delay(0, 1, 0.0, 0)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DelayModelTest, PiecewiseSwitchesAtTime) {
+  auto before = std::make_shared<ConstantDelay>(8.0);
+  auto after = std::make_shared<ConstantDelay>(10.0);
+  PiecewiseDelay m(before, 100.0, after);
+  EXPECT_EQ(m.delay(0, 1, 99.9, 0), 8.0);
+  EXPECT_EQ(m.delay(0, 1, 100.0, 0), 10.0);
+  EXPECT_EQ(m.delay(0, 1, 200.0, 0), 10.0);
+}
+
+TEST(DelayModelTest, FunctionDelayDelegates) {
+  FunctionDelay m([](ProcId s, ProcId r, Time, std::uint64_t) {
+    return 8.0 + static_cast<Time>(s) + static_cast<Time>(r) / 10.0;
+  });
+  EXPECT_DOUBLE_EQ(m.delay(1, 2, 0.0, 0), 9.2);
+}
+
+}  // namespace
+}  // namespace lintime::sim

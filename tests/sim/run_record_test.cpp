@@ -1,0 +1,61 @@
+// Unit tests for run records (timed views).
+
+#include "sim/run_record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::sim {
+namespace {
+
+TEST(RunRecordTest, LastTimeOfEmptyIsZero) {
+  RunRecord r;
+  EXPECT_EQ(r.last_time(), 0.0);
+}
+
+TEST(RunRecordTest, LastAndFirstTime) {
+  RunRecord r;
+  StepRecord a;
+  a.proc = 0;
+  a.real_time = 3.0;
+  StepRecord b;
+  b.proc = 1;
+  b.real_time = 7.5;
+  r.steps = {a, b};
+  EXPECT_EQ(r.first_time(), 3.0);
+  EXPECT_EQ(r.last_time(), 7.5);
+}
+
+TEST(RunRecordTest, OpRecordCompleteness) {
+  OpRecord op;
+  op.invoke_real = 5.0;
+  EXPECT_FALSE(op.complete());
+  op.response_real = 5.0;
+  EXPECT_TRUE(op.complete());
+  EXPECT_EQ(op.latency(), 0.0);
+  op.response_real = 8.0;
+  EXPECT_EQ(op.latency(), 3.0);
+}
+
+TEST(RunRecordTest, MessageDelay) {
+  MessageRecord m;
+  m.send_real = 2.0;
+  m.recv_real = 11.0;
+  EXPECT_EQ(m.delay(), 9.0);
+}
+
+TEST(RunRecordTest, OpRecordToStringMentionsEverything) {
+  OpRecord op;
+  op.proc = 2;
+  op.op = "enqueue";
+  op.arg = adt::Value{5};
+  op.ret = adt::Value::nil();
+  op.invoke_real = 1.0;
+  op.response_real = 2.0;
+  const std::string s = op.to_string();
+  EXPECT_NE(s.find("p2"), std::string::npos);
+  EXPECT_NE(s.find("enqueue"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lintime::sim

@@ -1,0 +1,237 @@
+// Unit tests for the discrete-event kernel: event ordering, timers and
+// cancellation, message delivery, clock offsets, trace recording, and the
+// model's user constraint (one pending invocation per process).
+
+#include "sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <vector>
+
+namespace lintime::sim {
+namespace {
+
+/// Scriptable probe process for kernel tests.
+class Probe : public Process {
+ public:
+  struct Log {
+    std::vector<std::string> events;
+    std::vector<Time> local_times;
+  };
+
+  explicit Probe(Log& log) : log_(log) {}
+
+  void on_invoke(Context& ctx, const std::string& op, const adt::Value& arg) override {
+    log_.events.push_back("invoke:" + op);
+    log_.local_times.push_back(ctx.local_time());
+    if (op == "ping") {
+      ctx.send((ctx.self() + 1) % ctx.n(), std::string("hello"));
+      ctx.respond(adt::Value::nil());
+    } else if (op == "timer") {
+      timer_ = ctx.set_timer(arg.is_int() ? static_cast<Time>(arg.as_int()) : 1.0,
+                             std::string("tick"));
+      ctx.respond(adt::Value::nil());
+    } else if (op == "timer_cancel") {
+      auto id = ctx.set_timer(1.0, std::string("cancelled"));
+      ctx.cancel_timer(id);
+      ctx.respond(adt::Value::nil());
+    } else if (op == "broadcast") {
+      ctx.broadcast(std::string("all"));
+      ctx.respond(adt::Value::nil());
+    } else if (op == "silent") {
+      ctx.respond(adt::Value{ctx.self()});
+    } else if (op == "never") {
+      // No response: used to test the pending-invocation constraint.
+    }
+  }
+
+  void on_message(Context& ctx, ProcId src, const std::any& payload) override {
+    log_.events.push_back("msg:" + std::any_cast<std::string>(payload) + ":from" +
+                          std::to_string(src));
+    log_.local_times.push_back(ctx.local_time());
+  }
+
+  void on_timer(Context& ctx, TimerId, const std::any& data) override {
+    log_.events.push_back("timer:" + std::any_cast<std::string>(data));
+    log_.local_times.push_back(ctx.local_time());
+  }
+
+ private:
+  Log& log_;
+  TimerId timer_;
+};
+
+WorldConfig config3() {
+  WorldConfig c;
+  c.params = ModelParams{3, 10.0, 2.0, 1.0};
+  return c;
+}
+
+TEST(WorldTest, MessageArrivesWithConstantDelay) {
+  Probe::Log log;
+  WorldConfig c = config3();
+  c.delays = std::make_shared<ConstantDelay>(10.0);
+  World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(5.0, 0, "ping", adt::Value::nil());
+  w.run();
+  ASSERT_EQ(w.record().messages.size(), 1u);
+  EXPECT_EQ(w.record().messages[0].send_real, 5.0);
+  EXPECT_EQ(w.record().messages[0].recv_real, 15.0);
+  EXPECT_TRUE(w.record().messages[0].received);
+}
+
+TEST(WorldTest, InvalidDelayRejectedWhenEnforced) {
+  Probe::Log log;
+  WorldConfig c = config3();
+  c.delays = std::make_shared<ConstantDelay>(3.0);  // below d-u = 8
+  World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(0.0, 0, "ping", adt::Value::nil());
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(WorldTest, InvalidDelayAllowedWhenNotEnforced) {
+  Probe::Log log;
+  WorldConfig c = config3();
+  c.delays = std::make_shared<ConstantDelay>(3.0);
+  c.enforce_valid_delays = false;
+  World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(0.0, 0, "ping", adt::Value::nil());
+  EXPECT_NO_THROW(w.run());
+}
+
+TEST(WorldTest, TimerFiresAtRequestedDelay) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(2.0, 0, "timer", adt::Value{7});
+  w.run();
+  ASSERT_EQ(log.events.back(), "timer:tick");
+  // Timer set at local time 2 (offset 0) for +7.
+  EXPECT_DOUBLE_EQ(log.local_times.back(), 9.0);
+}
+
+TEST(WorldTest, CancelledTimerNeverFires) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(0.0, 0, "timer_cancel", adt::Value::nil());
+  w.run();
+  for (const auto& ev : log.events) {
+    EXPECT_EQ(ev.find("cancelled"), std::string::npos) << ev;
+  }
+}
+
+TEST(WorldTest, ClockOffsetsShiftLocalTime) {
+  Probe::Log log;
+  WorldConfig c = config3();
+  c.clock_offsets = {0.5, -0.5, 0.0};
+  World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(10.0, 0, "silent", adt::Value::nil());
+  w.run();
+  EXPECT_DOUBLE_EQ(log.local_times.back(), 10.5);
+}
+
+TEST(WorldTest, ExcessiveSkewRejected) {
+  Probe::Log log;
+  WorldConfig c = config3();  // eps = 1
+  c.clock_offsets = {2.0, 0.0, 0.0};
+  EXPECT_THROW(World(c, [&](ProcId) { return std::make_unique<Probe>(log); }),
+               std::invalid_argument);
+}
+
+TEST(WorldTest, BroadcastReachesAllOthers) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(0.0, 1, "broadcast", adt::Value::nil());
+  w.run();
+  int received = 0;
+  for (const auto& ev : log.events) {
+    if (ev.rfind("msg:all", 0) == 0) ++received;
+  }
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(w.record().messages.size(), 2u);
+}
+
+TEST(WorldTest, SecondInvocationWhilePendingThrows) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(0.0, 0, "never", adt::Value::nil());
+  w.invoke_at(1.0, 0, "silent", adt::Value::nil());
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(WorldTest, OpRecordCapturesInterval) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(4.0, 2, "silent", adt::Value::nil());
+  w.run();
+  ASSERT_EQ(w.record().ops.size(), 1u);
+  const auto& op = w.record().ops[0];
+  EXPECT_EQ(op.proc, 2);
+  EXPECT_EQ(op.invoke_real, 4.0);
+  EXPECT_EQ(op.response_real, 4.0);
+  EXPECT_EQ(op.ret, adt::Value{2});
+  EXPECT_TRUE(op.complete());
+}
+
+TEST(WorldTest, StepsRecordedInRealTimeOrder) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(1.0, 0, "ping", adt::Value::nil());
+  w.invoke_at(2.0, 1, "timer", adt::Value{1});
+  w.run();
+  const auto& steps = w.record().steps;
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_LE(steps[i - 1].real_time, steps[i].real_time);
+  }
+}
+
+TEST(WorldTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Probe::Log log;
+    WorldConfig c;
+    c.params = ModelParams{4, 10.0, 2.0, 1.0};
+    c.delays = std::make_shared<UniformRandomDelay>(8.0, 10.0, 99);
+    World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+    w.invoke_at(0.0, 0, "broadcast", adt::Value::nil());
+    w.invoke_at(0.5, 1, "broadcast", adt::Value::nil());
+    w.run();
+    std::string sig;
+    for (const auto& m : w.record().messages) sig += std::to_string(m.recv_real) + ";";
+    return sig;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(WorldTest, InvokeInThePastThrows) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(5.0, 0, "silent", adt::Value::nil());
+  w.run();
+  EXPECT_THROW(w.invoke_at(1.0, 0, "silent", adt::Value::nil()), std::invalid_argument);
+}
+
+TEST(WorldTest, ResponseHookObservesCompletion) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  std::vector<std::string> seen;
+  w.set_response_hook([&seen](World&, const OpRecord& op) { seen.push_back(op.op); });
+  w.invoke_at(0.0, 0, "silent", adt::Value::nil());
+  w.run();
+  EXPECT_EQ(seen, std::vector<std::string>{"silent"});
+}
+
+TEST(WorldTest, ViewOfFiltersSteps) {
+  Probe::Log log;
+  World w(config3(), [&](ProcId) { return std::make_unique<Probe>(log); });
+  w.invoke_at(0.0, 0, "ping", adt::Value::nil());
+  w.run();
+  const auto view0 = w.record().view_of(0);
+  const auto view1 = w.record().view_of(1);
+  EXPECT_EQ(view0.size(), 1u);  // the invoke step
+  EXPECT_EQ(view1.size(), 1u);  // the message receipt
+  EXPECT_EQ(view0[0].trigger, Trigger::kInvoke);
+  EXPECT_EQ(view1[0].trigger, Trigger::kMessage);
+}
+
+}  // namespace
+}  // namespace lintime::sim
