@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
+
+#include "campaign/executor.hpp"
 
 namespace lintime::bench {
 
@@ -11,8 +14,7 @@ sim::ModelParams default_params() {
   return p;
 }
 
-double measure_worst_latency(const adt::DataType& type, const MeasureSpec& spec,
-                             const sim::ModelParams& params) {
+harness::RunSpec worst_latency_run(const MeasureSpec& spec, const sim::ModelParams& params) {
   harness::RunSpec run;
   run.params = params;
   run.algo = spec.algo;
@@ -25,14 +27,74 @@ double measure_worst_latency(const adt::DataType& type, const MeasureSpec& spec,
   run.scripts.assign(static_cast<std::size_t>(params.n), {});
   run.scripts[0] = spec.rho;
   run.calls = {harness::Call{t, 1, spec.op, spec.arg}};
+  return run;
+}
 
-  const auto result = harness::execute(type, run);
-  // The measured instance is the one at p1.
+namespace {
+
+/// The measured instance is the one at p1.
+double latency_at_p1(const sim::RunRecord& record, const std::string& op_name) {
   double latency = -1;
-  for (const auto& op : result.record.ops) {
-    if (op.proc == 1 && op.op == spec.op) latency = op.latency();
+  for (const auto& op : record.ops) {
+    if (op.proc == 1 && op.op == op_name) latency = op.latency();
   }
   return latency;
+}
+
+}  // namespace
+
+double measure_worst_latency(const adt::DataType& type, const MeasureSpec& spec,
+                             const sim::ModelParams& params) {
+  const auto result = harness::execute(type, worst_latency_run(spec, params));
+  return latency_at_p1(result.record, spec.op);
+}
+
+MeasureBatch::MeasureBatch(sim::ModelParams params, std::string name)
+    : default_params_(params) {
+  spec_.name = std::move(name);
+}
+
+std::size_t MeasureBatch::add(const adt::DataType& type, MeasureSpec spec) {
+  return add(type, std::move(spec), default_params_);
+}
+
+std::size_t MeasureBatch::add(const adt::DataType& type, MeasureSpec spec,
+                              const sim::ModelParams& params) {
+  if (result_.has_value()) throw std::logic_error("MeasureBatch: add() after run()");
+  const std::size_t handle = spec_.jobs.size();
+  campaign::Job job;
+  job.name = "#" + std::to_string(handle) + "/" + harness::to_string(spec.algo) + "/" + spec.op;
+  job.tags = {{"algo", harness::to_string(spec.algo)},
+              {"op", spec.op},
+              {"X", fmt(spec.X)},
+              {"n", std::to_string(params.n)}};
+  job.type = &type;
+  job.spec = worst_latency_run(spec, params);
+  spec_.jobs.push_back(std::move(job));
+  measured_ops_.push_back(spec.op);
+  return handle;
+}
+
+void MeasureBatch::run(int jobs) {
+  if (result_.has_value()) throw std::logic_error("MeasureBatch: run() called twice");
+  campaign::ExecutorOptions options;
+  options.jobs = jobs;
+  options.keep_records = true;  // latency extraction needs the p1 instance
+  result_ = campaign::run_campaign(spec_, options);
+}
+
+double MeasureBatch::latency(std::size_t handle) const {
+  if (!result_.has_value()) throw std::logic_error("MeasureBatch: latency() before run()");
+  const auto& job = result_->jobs.at(handle);
+  if (!job.ok) {
+    throw std::runtime_error("MeasureBatch: job '" + job.name + "' failed: " + job.error);
+  }
+  return latency_at_p1(job.run.record, measured_ops_.at(handle));
+}
+
+const campaign::CampaignResult& MeasureBatch::result() const {
+  if (!result_.has_value()) throw std::logic_error("MeasureBatch: result() before run()");
+  return *result_;
 }
 
 std::string fmt(double v) {

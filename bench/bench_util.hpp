@@ -3,11 +3,13 @@
 // parameters, worst-case latency measurement under the max-delay adversary,
 // and fixed-width table printing in the shape of the paper's Tables 1-5.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "adt/data_type.hpp"
+#include "campaign/executor.hpp"
 #include "harness/runner.hpp"
 #include "shift/theorems.hpp"
 
@@ -30,6 +32,43 @@ struct MeasureSpec {
 };
 [[nodiscard]] double measure_worst_latency(const adt::DataType& type, const MeasureSpec& spec,
                                            const sim::ModelParams& params);
+
+/// Builds the harness::RunSpec that measure_worst_latency executes (the
+/// campaign job shape shared by the table benches and campaign_runner).
+[[nodiscard]] harness::RunSpec worst_latency_run(const MeasureSpec& spec,
+                                                 const sim::ModelParams& params);
+
+/// A batch of worst-case latency measurements executed as one campaign:
+/// queue measurements with add() (each returns a handle), run() them all --
+/// in parallel when `jobs` != 1 -- then read each latency(handle).  Results
+/// are keyed by handle, so they are identical for any worker count.
+class MeasureBatch {
+ public:
+  /// `params` is the default model for add(); the campaign `name` labels
+  /// sink output when the batch is exported.
+  explicit MeasureBatch(sim::ModelParams params, std::string name = "measure-batch");
+
+  /// Queues one measurement against the batch default params.
+  std::size_t add(const adt::DataType& type, MeasureSpec spec);
+  /// Queues one measurement with job-specific model params.
+  std::size_t add(const adt::DataType& type, MeasureSpec spec, const sim::ModelParams& params);
+
+  /// Executes all queued jobs (0 = hardware concurrency).  Call once.
+  void run(int jobs = 0);
+
+  /// Worst-case latency of the handle's measured op (-1 if it never
+  /// completed).  Only valid after run().
+  [[nodiscard]] double latency(std::size_t handle) const;
+
+  /// The underlying campaign result (for JSON/CSV export).  Valid after run().
+  [[nodiscard]] const campaign::CampaignResult& result() const;
+
+ private:
+  sim::ModelParams default_params_;
+  campaign::CampaignSpec spec_;
+  std::vector<std::string> measured_ops_;  ///< op name per handle
+  std::optional<campaign::CampaignResult> result_;
+};
 
 /// One row of a paper-style bounds table.
 struct TableRow {

@@ -1,0 +1,262 @@
+// campaign_runner: the CLI for the campaign subsystem.  Expands one of the
+// built-in experiment grids into jobs, runs them on a worker pool, and
+// writes machine-readable artifacts (JSON / CSV) plus an optional
+// wall-clock bench entry.  The deterministic sinks are byte-identical for
+// any --jobs value; only the bench entry (wall time) varies.
+//
+// Usage:
+//   campaign_runner [--campaign NAME] [--jobs N] [--json PATH] [--csv PATH]
+//                   [--bench-out PATH] [--quiet] [--list]
+//
+// Campaigns:
+//   tradeoff    X-grid x n x seeds over random queue workloads (81 jobs,
+//               linearizability-checked) -- the parallel form of the
+//               tradeoff_sweep / Section 5.1.2 experiment.
+//   robustness  drift/drop grids x seeds (the assumption-sensitivity sweep).
+//   latency     u x algorithm x seeds latency distributions.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adt/queue_type.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/grid.hpp"
+#include "campaign/sink.hpp"
+#include "harness/runner.hpp"
+#include "sim/delay_model.hpp"
+
+namespace {
+
+using namespace lintime;
+
+// The X-grid of tradeoff_sweep (9 steps over [0, d-eps]) crossed with n and
+// workload seeds: 9 x 3 x 3 = 81 jobs, each a random closed-loop queue
+// workload under uniformly random delays, checked for linearizability.
+campaign::CampaignSpec build_tradeoff(const adt::DataType& type) {
+  campaign::CampaignSpec spec;
+  spec.name = "tradeoff";
+  const int kSteps = 8;
+  std::vector<double> xfrac;
+  for (int i = 0; i <= kSteps; ++i) xfrac.push_back(static_cast<double>(i) / kSteps);
+
+  const auto points = campaign::Grid{}
+                          .axis("n", std::vector<int>{3, 5, 8})
+                          .axis("xfrac", xfrac)
+                          .range("seed", 1, 3)
+                          .points();
+  for (const auto& p : points) {
+    sim::ModelParams params{static_cast<int>(p.integer("n")), 10.0, 2.0, 0.0};
+    params.eps = params.optimal_eps();
+    const auto seed = static_cast<std::uint64_t>(p.integer("seed"));
+
+    campaign::Job job;
+    job.name = p.label();
+    job.tags = p.coords();
+    job.type = &type;
+    job.spec.params = params;
+    job.spec.algo = harness::AlgoKind::kAlgorithmOne;
+    job.spec.X = (params.d - params.eps) * p.num("xfrac");
+    job.spec.delays =
+        std::make_shared<sim::UniformRandomDelay>(params.min_delay(), params.d, seed);
+    job.spec.scripts = harness::random_scripts(type, params.n, 4, seed * 31);
+    job.check_linearizability = true;
+    spec.jobs.push_back(std::move(job));
+  }
+  return spec;
+}
+
+// The assumption-sensitivity sweep of bench/robustness.cpp as a campaign:
+// drift levels and drop probabilities crossed with seeds.
+campaign::CampaignSpec build_robustness(const adt::DataType& type) {
+  campaign::CampaignSpec spec;
+  spec.name = "robustness";
+  sim::ModelParams params{4, 10.0, 2.0, 1.5};
+
+  auto add = [&](const std::string& mode, double level, int seed) {
+    campaign::Job job;
+    job.name = mode + "=" + campaign::fmt_double(level) + "/seed=" + std::to_string(seed);
+    job.tags = {{"mode", mode}, {"level", campaign::fmt_double(level)},
+                {"seed", std::to_string(seed)}};
+    job.type = &type;
+    job.spec.params = params;
+    job.spec.algo = harness::AlgoKind::kAlgorithmOne;
+    job.spec.X = 0.0;
+    job.spec.delays = std::make_shared<sim::UniformRandomDelay>(
+        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
+    if (mode == "drift") {
+      job.spec.clock_rates = {1.0 + level, 1.0 - level, 1.0 + level, 1.0 - level};
+    } else {
+      job.spec.drop_probability = level;
+      job.spec.drop_seed = static_cast<std::uint64_t>(seed) * 13;
+    }
+    const auto scripts =
+        harness::random_scripts(type, params.n, 8, static_cast<std::uint64_t>(seed) * 7);
+    double t = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (int p = 0; p < params.n; ++p) {
+        job.spec.calls.push_back(harness::Call{t + p * 0.25, p,
+                                               scripts[static_cast<std::size_t>(p)][i].op,
+                                               scripts[static_cast<std::size_t>(p)][i].arg});
+      }
+      t += 40.0;
+    }
+    job.check_linearizability = true;
+    spec.jobs.push_back(std::move(job));
+  };
+
+  for (const double rho : {0.0, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1}) {
+    for (int seed = 1; seed <= 6; ++seed) add("drift", rho, seed);
+  }
+  for (const double p : {0.0, 0.001, 0.01, 0.05, 0.1, 0.3}) {
+    for (int seed = 1; seed <= 6; ++seed) add("drop", p, seed);
+  }
+  return spec;
+}
+
+// Latency distributions (bench/latency_distribution.cpp) as a campaign:
+// u x algorithm x seeds.
+campaign::CampaignSpec build_latency(const adt::DataType& type) {
+  campaign::CampaignSpec spec;
+  spec.name = "latency";
+  const auto points = campaign::Grid{}
+                          .axis("u", std::vector<double>{0.5, 2.0, 4.0})
+                          .axis("algo", {std::string("algorithm1"), std::string("centralized")})
+                          .range("seed", 1, 20)
+                          .points();
+  for (const auto& p : points) {
+    sim::ModelParams params{5, 10.0, p.num("u"), 0.0};
+    params.eps = params.optimal_eps();
+    const auto seed = static_cast<std::uint64_t>(p.integer("seed"));
+
+    campaign::Job job;
+    job.name = p.label();
+    job.tags = p.coords();
+    job.type = &type;
+    job.spec.params = params;
+    job.spec.algo = p.get("algo") == "centralized" ? harness::AlgoKind::kCentralized
+                                                   : harness::AlgoKind::kAlgorithmOne;
+    job.spec.X = job.spec.algo == harness::AlgoKind::kAlgorithmOne
+                     ? (params.d - params.eps) / 2
+                     : 0.0;
+    job.spec.delays =
+        std::make_shared<sim::UniformRandomDelay>(params.min_delay(), params.d, seed);
+    job.spec.scripts = harness::random_scripts(type, params.n, 6, seed * 31);
+    spec.jobs.push_back(std::move(job));
+  }
+  return spec;
+}
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--campaign tradeoff|robustness|latency] [--jobs N]\n"
+      "          [--json PATH] [--csv PATH] [--bench-out PATH] [--quiet] [--list]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string campaign_name = "tradeoff";
+  std::string json_path;
+  std::string csv_path;
+  std::string bench_path;
+  int jobs = 0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--campaign") campaign_name = next();
+    else if (arg == "--jobs") jobs = std::atoi(next());
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--bench-out") bench_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--list") {
+      std::printf("tradeoff\nrobustness\nlatency\n");
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  adt::QueueType queue;
+  campaign::CampaignSpec spec;
+  if (campaign_name == "tradeoff") spec = build_tradeoff(queue);
+  else if (campaign_name == "robustness") spec = build_robustness(queue);
+  else if (campaign_name == "latency") spec = build_latency(queue);
+  else {
+    std::fprintf(stderr, "unknown campaign '%s'\n", campaign_name.c_str());
+    return usage(argv[0]);
+  }
+
+  campaign::ExecutorOptions options;
+  options.jobs = jobs;
+  if (!quiet) {
+    options.on_progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r[%zu/%zu]", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+
+  const int workers = campaign::resolve_jobs(jobs, spec.jobs.size());
+  if (!quiet) {
+    std::fprintf(stderr, "campaign '%s': %zu jobs on %d worker(s)\n", spec.name.c_str(),
+                 spec.jobs.size(), workers);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = campaign::run_campaign(spec, options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto agg = result.aggregate();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "done in %.3fs: %zu jobs, %zu failed, %zu/%zu checked linearizable\n", wall,
+                 agg.jobs_total, agg.jobs_failed, agg.jobs_linearizable, agg.jobs_checked);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    campaign::write_json(os, result);
+  }
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+      return 1;
+    }
+    campaign::write_csv(os, result);
+  }
+  if (!bench_path.empty()) {
+    std::ofstream os(bench_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", bench_path.c_str());
+      return 1;
+    }
+    campaign::BenchEntry entry{spec.name, spec.jobs.size(), workers, wall};
+    campaign::write_bench_entry(os, entry);
+    os << "\n";
+  }
+  if (json_path.empty() && csv_path.empty()) {
+    campaign::write_json(std::cout, result);
+  }
+  return agg.jobs_failed == 0 ? 0 : 1;
+}

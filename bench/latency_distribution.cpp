@@ -3,41 +3,44 @@
 // timer-driven and therefore CONSTANT per class regardless of realized
 // delays, while the centralized baseline's latency tracks the delay
 // distribution.  Swept over delay spreads (u) and seeds.
+//
+// The sweep is a campaign: the u x algorithm x seed grid expands to one job
+// per (u, algo, seed), all executed by the campaign worker pool; per-op
+// distributions are then pooled from the per-job latency samples.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "adt/queue_type.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/grid.hpp"
 #include "harness/runner.hpp"
-#include "lin/checker.hpp"
 
 namespace {
 
 using namespace lintime;
-using adt::Value;
 
 struct Dist {
   double min = 0, mean = 0, max = 0;
 };
 
-Dist distribution(harness::AlgoKind algo, const sim::ModelParams& params, const char* op,
-                  int seeds) {
-  adt::QueueType queue;
+Dist pool(const campaign::CampaignResult& result, const std::string& algo, double u,
+          const char* op) {
   std::vector<double> samples;
-  for (int seed = 1; seed <= seeds; ++seed) {
-    harness::RunSpec spec;
-    spec.params = params;
-    spec.algo = algo;
-    spec.X = (algo == harness::AlgoKind::kAlgorithmOne) ? (params.d - params.eps) / 2 : 0.0;
-    spec.delays = std::make_shared<sim::UniformRandomDelay>(
-        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
-    spec.scripts = harness::random_scripts(queue, params.n, 6,
-                                           static_cast<std::uint64_t>(seed) * 31);
-    const auto result = harness::execute(queue, spec);
-    for (const auto& rec : result.record.ops) {
-      if (rec.op == op && rec.complete()) samples.push_back(rec.latency());
+  for (const auto& job : result.jobs) {
+    if (!job.ok) continue;
+    bool match_algo = false, match_u = false;
+    for (const auto& [k, v] : job.tags) {
+      if (k == "algo" && v == algo) match_algo = true;
+      if (k == "u" && std::stod(v) == u) match_u = true;
     }
+    if (!match_algo || !match_u) continue;
+    const auto it = job.latency_samples.find(op);
+    if (it == job.latency_samples.end()) continue;
+    samples.insert(samples.end(), it->second.begin(), it->second.end());
   }
   Dist d;
   if (samples.empty()) return d;
@@ -51,8 +54,41 @@ Dist distribution(harness::AlgoKind algo, const sim::ModelParams& params, const 
 }  // namespace
 
 int main() {
+  adt::QueueType queue;
+
+  campaign::CampaignSpec spec;
+  spec.name = "latency-distribution";
+  const auto points = campaign::Grid{}
+                          .axis("u", std::vector<double>{0.5, 2.0, 4.0})
+                          .axis("algo", {std::string("algorithm1"), std::string("centralized")})
+                          .range("seed", 1, 20)
+                          .points();
+  for (const auto& p : points) {
+    sim::ModelParams params{5, 10.0, p.num("u"), 0.0};
+    params.eps = params.optimal_eps();
+    const auto seed = static_cast<std::uint64_t>(p.integer("seed"));
+
+    campaign::Job job;
+    job.name = p.label();
+    job.tags = p.coords();
+    job.type = &queue;
+    job.spec.params = params;
+    job.spec.algo = p.get("algo") == "centralized" ? harness::AlgoKind::kCentralized
+                                                   : harness::AlgoKind::kAlgorithmOne;
+    job.spec.X = job.spec.algo == harness::AlgoKind::kAlgorithmOne
+                     ? (params.d - params.eps) / 2
+                     : 0.0;
+    job.spec.delays =
+        std::make_shared<sim::UniformRandomDelay>(params.min_delay(), params.d, seed);
+    job.spec.scripts = harness::random_scripts(queue, params.n, 6, seed * 31);
+    spec.jobs.push_back(std::move(job));
+  }
+
+  const auto result = campaign::run_campaign(spec);
+
   std::printf("Latency distributions under uniformly random delays in [d-u, d]\n");
-  std::printf("(20 seeds x 6 ops/process; Algorithm 1 at X = (d-eps)/2)\n\n");
+  std::printf("(20 seeds x 6 ops/process; Algorithm 1 at X = (d-eps)/2; %zu campaign jobs)\n\n",
+              result.jobs.size());
 
   for (const double u : {0.5, 2.0, 4.0}) {
     sim::ModelParams params{5, 10.0, u, 0.0};
@@ -63,7 +99,7 @@ int main() {
                 "class bound");
     for (const auto algo : {harness::AlgoKind::kAlgorithmOne, harness::AlgoKind::kCentralized}) {
       for (const char* op : {"enqueue", "peek", "dequeue"}) {
-        const auto dist = distribution(algo, params, op, 20);
+        const auto dist = pool(result, harness::to_string(algo), u, op);
         std::string bound = "2d = " + std::to_string(2 * params.d);
         if (algo == harness::AlgoKind::kAlgorithmOne) {
           const double X = (params.d - params.eps) / 2;

@@ -4,80 +4,125 @@
 // each assumption by a controlled amount and measures the fraction of random
 // workloads that stop being linearizable -- the cliff is where the
 // assumption's slack runs out.
+//
+// Each (violation level, seed) pair is one campaign job with the
+// linearizability check enabled; survival rates are reduced from the job
+// verdicts.  A job that throws (e.g. an invocation overlap caused by extreme
+// drift) is captured by the executor as a failed job and counts as a
+// non-survivor, exactly as the old sequential loop treated exceptions.
 
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "adt/queue_type.hpp"
-#include "core/algorithm_one.hpp"
-#include "core/timing_policy.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/sink.hpp"
 #include "harness/runner.hpp"
-#include "lin/checker.hpp"
-#include "sim/world.hpp"
 
 namespace {
 
 using namespace lintime;
-using adt::Value;
 
-/// Runs `seeds` random workloads under the given config mutator; returns the
-/// fraction that remain linearizable.
-double survival_rate(double drift, double drop, int seeds) {
-  adt::QueueType queue;
+constexpr int kSeeds = 30;
+
+campaign::CampaignSpec build_campaign(const adt::DataType& type) {
+  campaign::CampaignSpec spec;
+  spec.name = "robustness";
   sim::ModelParams params{4, 10.0, 2.0, 1.5};
-  int ok = 0;
-  for (int seed = 1; seed <= seeds; ++seed) {
-    sim::WorldConfig config;
-    config.params = params;
-    config.delays = std::make_shared<sim::UniformRandomDelay>(
-        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
-    // Alternating drift: half the clocks fast by `drift`, half slow.
-    config.clock_rates = {1.0 + drift, 1.0 - drift, 1.0 + drift, 1.0 - drift};
-    config.drop_probability = drop;
-    config.drop_seed = static_cast<std::uint64_t>(seed) * 13;
 
-    sim::World world(config, [&](sim::ProcId) {
-      return std::make_unique<core::AlgorithmOneProcess>(
-          queue, core::TimingPolicy::standard(params, 0.0));
-    });
+  auto add = [&](const std::string& mode, double level, int seed) {
+    campaign::Job job;
+    job.name = mode + "=" + campaign::fmt_double(level) + "/seed=" + std::to_string(seed);
+    job.tags = {{"mode", mode},
+                {"level", campaign::fmt_double(level)},
+                {"seed", std::to_string(seed)}};
+    job.type = &type;
+    job.spec.params = params;
+    job.spec.algo = harness::AlgoKind::kAlgorithmOne;
+    job.spec.X = 0.0;
+    job.spec.delays = std::make_shared<sim::UniformRandomDelay>(
+        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
+    if (mode == "drift") {
+      // Alternating drift: half the clocks fast by `level`, half slow.
+      job.spec.clock_rates = {1.0 + level, 1.0 - level, 1.0 + level, 1.0 - level};
+    } else {
+      job.spec.drop_probability = level;
+      job.spec.drop_seed = static_cast<std::uint64_t>(seed) * 13;
+    }
     // Long workload so drift has time to accumulate: ~800 time units.
     const auto scripts =
-        harness::random_scripts(queue, params.n, 20, static_cast<std::uint64_t>(seed) * 7);
+        harness::random_scripts(type, params.n, 20, static_cast<std::uint64_t>(seed) * 7);
     double t = 0;
     for (std::size_t i = 0; i < 20; ++i) {
       for (int p = 0; p < params.n; ++p) {
-        world.invoke_at(t + p * 0.25, p, scripts[static_cast<std::size_t>(p)][i].op,
-                        scripts[static_cast<std::size_t>(p)][i].arg);
+        job.spec.calls.push_back(harness::Call{t + p * 0.25, p,
+                                               scripts[static_cast<std::size_t>(p)][i].op,
+                                               scripts[static_cast<std::size_t>(p)][i].arg});
       }
       t += 40.0;  // spaced: every op completes before the process's next
     }
-    try {
-      world.run();
-      if (lin::check_linearizability(queue, world.record()).linearizable) ++ok;
-    } catch (const std::exception&) {
-      // e.g. overlap caused by extreme drift: counts as failure
+    job.check_linearizability = true;
+    spec.jobs.push_back(std::move(job));
+  };
+
+  for (const double rho : {0.0, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1}) {
+    for (int seed = 1; seed <= kSeeds; ++seed) add("drift", rho, seed);
+  }
+  for (const double p : {0.0, 0.001, 0.01, 0.05, 0.1, 0.3}) {
+    for (int seed = 1; seed <= kSeeds; ++seed) add("drop", p, seed);
+  }
+  return spec;
+}
+
+/// Survival per (mode, level): fraction of the level's jobs whose run both
+/// completed and checked linearizable.
+std::map<std::pair<std::string, std::string>, double> survival(
+    const campaign::CampaignResult& result) {
+  std::map<std::pair<std::string, std::string>, std::pair<int, int>> counts;  // ok, total
+  for (const auto& job : result.jobs) {
+    std::string mode, level;
+    for (const auto& [k, v] : job.tags) {
+      if (k == "mode") mode = v;
+      if (k == "level") level = v;
+    }
+    auto& [ok, total] = counts[{mode, level}];
+    ++total;
+    if (job.ok &&
+        job.metrics.verdict == campaign::JobMetrics::Verdict::kLinearizable) {
+      ++ok;
     }
   }
-  return static_cast<double>(ok) / seeds;
+  std::map<std::pair<std::string, std::string>, double> out;
+  for (const auto& [key, c] : counts) {
+    out[key] = static_cast<double>(c.first) / c.second;
+  }
+  return out;
 }
 
 }  // namespace
 
 int main() {
-  const int seeds = 30;
+  adt::QueueType queue;
+  const auto spec = build_campaign(queue);
+  const auto result = campaign::run_campaign(spec);
+  const auto rates = survival(result);
+
   std::printf("Assumption sensitivity (n=4, d=10, u=2, eps=1.5, 80-op random workloads,\n");
-  std::printf("%d seeds each; survival = fraction of runs still linearizable)\n\n", seeds);
+  std::printf("%d seeds each; survival = fraction of runs still linearizable;\n", kSeeds);
+  std::printf("%zu campaign jobs)\n\n", result.jobs.size());
 
   std::printf("Clock drift (rates 1 +- rho; the model assumes rho = 0):\n");
   std::printf("  %-10s %s\n", "rho", "survival");
   for (const double rho : {0.0, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1}) {
-    std::printf("  %-10g %.2f\n", rho, survival_rate(rho, 0.0, seeds));
+    std::printf("  %-10g %.2f\n", rho, rates.at({"drift", campaign::fmt_double(rho)}));
   }
 
   std::printf("\nMessage loss (drop probability; the model assumes 0):\n");
   std::printf("  %-10s %s\n", "p(drop)", "survival");
   for (const double p : {0.0, 0.001, 0.01, 0.05, 0.1, 0.3}) {
-    std::printf("  %-10g %.2f\n", p, survival_rate(0.0, p, seeds));
+    std::printf("  %-10g %.2f\n", p, rates.at({"drop", campaign::fmt_double(p)}));
   }
 
   std::printf("\n=> the algorithm tolerates drift while accumulated skew stays within the\n");

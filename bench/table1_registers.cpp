@@ -23,34 +23,45 @@ int main() {
   const double m = params.m();
   adt::RmwRegisterType reg;
 
+  // All measurements run as one campaign batch: queue handles first, run the
+  // batch on the worker pool, then render the rows from the results.
+  bench::MeasureBatch batch(params, "table1-registers");
   auto ours = [&](const char* op, Value arg, double X) {
     MeasureSpec s;
     s.op = op;
     s.arg = std::move(arg);
     s.X = X;
-    return bench::measure_worst_latency(reg, s, params);
+    return batch.add(reg, std::move(s));
   };
   auto central = [&](const char* op, Value arg) {
     MeasureSpec s;
     s.op = op;
     s.arg = std::move(arg);
     s.algo = AlgoKind::kCentralized;
-    return bench::measure_worst_latency(reg, s, params);
+    return batch.add(reg, std::move(s));
   };
+
+  const auto h_rmw = ours("fetch_add", Value{1}, 0.0);
+  const auto h_rmw_c = central("fetch_add", Value{1});
+  const auto h_write = ours("write", Value{1}, 0.0);
+  const auto h_write_c = central("write", Value{1});
+  const auto h_read = ours("read", Value::nil(), d - eps);
+  const auto h_read_c = central("read", Value::nil());
+  const auto h_read_x0 = ours("read", Value::nil(), 0.0);
+  batch.run();
+  auto L = [&](std::size_t h) { return batch.latency(h); };
 
   std::vector<bench::TableRow> rows;
   rows.push_back({"Read-Modify-Write", "d [13]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 4)",
-                  "d+eps = " + fmt(d + eps), ours("fetch_add", Value{1}, 0.0),
-                  central("fetch_add", Value{1}),
+                  "d+eps = " + fmt(d + eps), L(h_rmw), L(h_rmw_c),
                   ""});
   rows.push_back({"Write", "u/2 [3]", "(1-1/n)u = " + fmt((1.0 - 1.0 / params.n) * u) + " (Thm 3)",
-                  "eps = " + fmt(eps) + " (X=0)", ours("write", Value{1}, 0.0),
-                  central("write", Value{1}), ""});
+                  "eps = " + fmt(eps) + " (X=0)", L(h_write), L(h_write_c), ""});
   rows.push_back({"Read", "u/4 [3]", "-", "eps = " + fmt(eps) + " (X=d-eps)",
-                  ours("read", Value::nil(), d - eps), central("read", Value::nil()), ""});
+                  L(h_read), L(h_read_c), ""});
   rows.push_back({"Write + Read", "d [13]", "-", "d+eps = " + fmt(d + eps),
-                  ours("write", Value{1}, 0.0) + ours("read", Value::nil(), 0.0),
-                  central("write", Value{1}) + central("read", Value::nil()),
+                  L(h_write) + L(h_read_x0),
+                  L(h_write_c) + L(h_read_c),
                   "sum is X-invariant: (X+eps) + (d-X) = d+eps"});
 
   bench::print_table("Table 1: Operation Bounds for Read/Write/RMW Registers", params, rows);

@@ -26,13 +26,15 @@ int main() {
 
   const std::vector<ScriptOp> seeded = {ScriptOp{"push", Value{7}}, ScriptOp{"push", Value{8}}};
 
+  // One campaign batch for all measured cells (see table1_registers.cpp).
+  bench::MeasureBatch batch(params, "table3-stacks");
   auto ours = [&](const char* op, Value arg, double X, std::vector<ScriptOp> rho = {}) {
     MeasureSpec s;
     s.op = op;
     s.arg = std::move(arg);
     s.X = X;
     s.rho = std::move(rho);
-    return bench::measure_worst_latency(st, s, params);
+    return batch.add(st, std::move(s));
   };
   auto central = [&](const char* op, Value arg, std::vector<ScriptOp> rho = {}) {
     MeasureSpec s;
@@ -40,23 +42,32 @@ int main() {
     s.arg = std::move(arg);
     s.algo = AlgoKind::kCentralized;
     s.rho = std::move(rho);
-    return bench::measure_worst_latency(st, s, params);
+    return batch.add(st, std::move(s));
   };
+
+  const auto h_push = ours("push", Value{1}, 0.0);
+  const auto h_push_c = central("push", Value{1});
+  const auto h_pop = ours("pop", Value::nil(), 0.0, seeded);
+  const auto h_pop_c = central("pop", Value::nil(), seeded);
+  const auto h_peek = ours("peek", Value::nil(), d - eps, seeded);
+  const auto h_peek_c = central("peek", Value::nil(), seeded);
+  const auto h_peek_x0 = ours("peek", Value::nil(), 0.0, seeded);
+  batch.run();
+  auto L = [&](std::size_t h) { return batch.latency(h); };
 
   std::vector<bench::TableRow> rows;
   rows.push_back({"Push", "u/2 [3]",
                   "(1-1/n)u = " + fmt((1.0 - 1.0 / params.n) * u) + " (Thm 3)",
-                  "eps = " + fmt(eps) + " (X=0)", ours("push", Value{1}, 0.0),
-                  central("push", Value{1}), ""});
+                  "eps = " + fmt(eps) + " (X=0)", L(h_push),
+                  L(h_push_c), ""});
   rows.push_back({"Pop", "d [3]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 4)",
-                  "d+eps = " + fmt(d + eps), ours("pop", Value::nil(), 0.0, seeded),
-                  central("pop", Value::nil(), seeded), ""});
+                  "d+eps = " + fmt(d + eps), L(h_pop), L(h_pop_c), ""});
   rows.push_back({"Peek", "-", "u/4 = " + fmt(u / 4) + " (Thm 2)",
-                  "eps = " + fmt(eps) + " (X=d-eps)", ours("peek", Value::nil(), d - eps, seeded),
-                  central("peek", Value::nil(), seeded), "first lower bound for Peek"});
+                  "eps = " + fmt(eps) + " (X=d-eps)", L(h_peek),
+                  L(h_peek_c), "first lower bound for Peek"});
   rows.push_back({"Push + Peek", "d [13]", "- (Thm 5 inapplicable)", "d+eps = " + fmt(d + eps),
-                  ours("push", Value{1}, 0.0) + ours("peek", Value::nil(), 0.0, seeded),
-                  central("push", Value{1}) + central("peek", Value::nil(), seeded),
+                  L(h_push) + L(h_peek_x0),
+                  L(h_push_c) + L(h_peek_c),
                   "peek depends only on the last push"});
 
   bench::print_table("Table 3: Operation Bounds for Stacks", params, rows);

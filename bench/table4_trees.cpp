@@ -40,13 +40,15 @@ int main() {
       ScriptOp{"insert", TreeType::edge(2, 3)},
   };
 
+  // One campaign batch for all measured cells (see table1_registers.cpp).
+  bench::MeasureBatch batch(params, "table4-trees");
   auto ours = [&](const char* op, Value arg, double X, std::vector<ScriptOp> rho = {}) {
     MeasureSpec s;
     s.op = op;
     s.arg = std::move(arg);
     s.X = X;
     s.rho = std::move(rho);
-    return bench::measure_worst_latency(tree, s, params);
+    return batch.add(tree, std::move(s));
   };
   auto central = [&](const char* op, Value arg, std::vector<ScriptOp> rho = {}) {
     MeasureSpec s;
@@ -54,35 +56,43 @@ int main() {
     s.arg = std::move(arg);
     s.algo = AlgoKind::kCentralized;
     s.rho = std::move(rho);
-    return bench::measure_worst_latency(tree, s, params);
+    return batch.add(tree, std::move(s));
   };
+
+  const auto h_move = ours("move", TreeType::edge(0, 4), 0.0, chain);
+  const auto h_move_c = central("move", TreeType::edge(0, 4), chain);
+  const auto h_rm = ours("remove", Value{3}, 0.0, chain);
+  const auto h_rm_c = central("remove", Value{3}, chain);
+  const auto h_depth = ours("depth", Value{2}, d - eps, chain);
+  const auto h_depth_c = central("depth", Value{2}, chain);
+  const auto h_ins = ours("insert", TreeType::edge(0, 4), 0.0, chain);
+  const auto h_ins_c = central("insert", TreeType::edge(0, 4), chain);
+  const auto h_depth_x0 = ours("depth", Value{2}, 0.0, chain);
+  batch.run();
+  auto L = [&](std::size_t h) { return batch.latency(h); };
 
   std::vector<bench::TableRow> rows;
   rows.push_back({"Insert (move)", "u/2 [13]",
                   "(1-1/n)u = " + fmt((1.0 - 1.0 / params.n) * u) + " (Thm 3, k=n)",
                   "eps = " + fmt(eps) + " (X=0)",
-                  ours("move", TreeType::edge(0, 4), 0.0, chain),
-                  central("move", TreeType::edge(0, 4), chain),
+                  L(h_move), L(h_move_c),
                   "last-wins re-parent semantics"});
   rows.push_back({"Delete (remove)", "u/2 [13]", "u/2 = " + fmt(u / 2) + " (Thm 3, k=2)",
-                  "eps = " + fmt(eps) + " (X=0)", ours("remove", Value{3}, 0.0, chain),
-                  central("remove", Value{3}, chain),
+                  "eps = " + fmt(eps) + " (X=0)", L(h_rm), L(h_rm_c),
                   "leaf removal: last-sensitive only at k=2"});
   rows.push_back({"Depth", "-", "u/4 = " + fmt(u / 4) + " (Thm 2)",
                   "eps = " + fmt(eps) + " (X=d-eps)",
-                  ours("depth", Value{2}, d - eps, chain), central("depth", Value{2}, chain),
+                  L(h_depth), L(h_depth_c),
                   "first lower bound for Depth"});
   rows.push_back({"Insert + Depth", "d [13]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 5)",
                   "d+eps = " + fmt(d + eps),
-                  ours("insert", TreeType::edge(0, 4), 0.0, chain) +
-                      ours("depth", Value{2}, 0.0, chain),
-                  central("insert", TreeType::edge(0, 4), chain) +
-                      central("depth", Value{2}, chain),
+                  L(h_ins) + L(h_depth_x0),
+                  L(h_ins_c) + L(h_depth_c),
                   "first-wins insert semantics"});
   rows.push_back({"Delete + Depth", "d [13]", "d + min{eps,u,d/3} = " + fmt(d + m) + " (Thm 5)",
                   "d+eps = " + fmt(d + eps),
-                  ours("remove", Value{3}, 0.0, chain) + ours("depth", Value{2}, 0.0, chain),
-                  central("remove", Value{3}, chain) + central("depth", Value{2}, chain), ""});
+                  L(h_rm) + L(h_depth_x0),
+                  L(h_rm_c) + L(h_depth_c), ""});
 
   bench::print_table("Table 4: Operation Bounds for Simple Rooted Trees", params, rows);
 

@@ -5,12 +5,12 @@ foreach(bench
     table1_registers table2_queues table3_stacks table4_trees table5_summary
     fig11_classification fig_theorem2_accessor fig_theorem3_shift
     fig_theorem4_chop fig_theorem5_sum tradeoff_sweep sc_gap ablations
-    latency_distribution robustness)
+    latency_distribution robustness campaign_runner)
   add_executable(${bench} bench/${bench}.cpp bench/bench_util.cpp)
   set_target_properties(${bench} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${bench} PRIVATE
     lintime_adt lintime_sim lintime_core lintime_baseline lintime_lin
-    lintime_shift lintime_clocksync lintime_harness)
+    lintime_shift lintime_clocksync lintime_harness lintime_campaign)
 endforeach()
 
 add_executable(micro_benchmarks bench/micro_benchmarks.cpp)

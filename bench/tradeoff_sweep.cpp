@@ -3,8 +3,15 @@
 // n, against the centralized and all-OOP baselines.  The AOP and MOP curves
 // cross at X = (d-eps)/2; their sum is constant at d+eps, matching the
 // tables' sum rows.
+//
+// All measurements run as ONE campaign batch (bench::MeasureBatch): the
+// (n, X, class) grid plus the baseline probes are enumerated up front and
+// executed on the campaign worker pool, then the same printed table is
+// rendered from the indexed results.
 
 #include <cstdio>
+#include <map>
+#include <vector>
 
 #include "adt/queue_type.hpp"
 #include "bench_util.hpp"
@@ -17,16 +24,22 @@ int main() {
   using harness::ScriptOp;
 
   adt::QueueType queue;
+  const std::vector<int> ns = {3, 5, 8};
+  const int steps = 8;
 
-  for (const int n : {3, 5, 8}) {
+  bench::MeasureBatch batch(bench::default_params(), "tradeoff-sweep");
+
+  struct Row {
+    double X;
+    std::size_t aop, mop, oop;  ///< batch handles
+  };
+  std::map<int, std::vector<Row>> rows;          // by n
+  std::map<int, std::pair<std::size_t, std::size_t>> baselines;  // centralized, all-OOP
+
+  for (const int n : ns) {
     sim::ModelParams params{n, 10.0, 2.0, 0.0};
     params.eps = params.optimal_eps();
 
-    std::printf("n=%d, d=%g, u=%g, eps=%g\n", n, params.d, params.u, params.eps);
-    std::printf("%8s  %10s  %10s  %10s  %12s\n", "X", "AOP(peek)", "MOP(enq)", "OOP(deq)",
-                "AOP+MOP sum");
-
-    const int steps = 8;
     for (int i = 0; i <= steps; ++i) {
       const double X = (params.d - params.eps) * i / steps;
       MeasureSpec aop{"peek", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, X,
@@ -34,20 +47,36 @@ int main() {
       MeasureSpec mop{"enqueue", Value{1}, {}, X, AlgoKind::kAlgorithmOne};
       MeasureSpec oop{"dequeue", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, X,
                       AlgoKind::kAlgorithmOne};
-      const double a = bench::measure_worst_latency(queue, aop, params);
-      const double m = bench::measure_worst_latency(queue, mop, params);
-      const double o = bench::measure_worst_latency(queue, oop, params);
-      std::printf("%8.2f  %10.2f  %10.2f  %10.2f  %12.2f\n", X, a, m, o, a + m);
+      rows[n].push_back(Row{X, batch.add(queue, aop, params), batch.add(queue, mop, params),
+                            batch.add(queue, oop, params)});
     }
 
     MeasureSpec central{"dequeue", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, 0,
                         AlgoKind::kCentralized};
     MeasureSpec alloop{"dequeue", Value::nil(), {ScriptOp{"enqueue", Value{1}}}, 0,
                        AlgoKind::kAllOop};
+    baselines[n] = {batch.add(queue, central, params), batch.add(queue, alloop, params)};
+  }
+
+  batch.run();
+
+  for (const int n : ns) {
+    sim::ModelParams params{n, 10.0, 2.0, 0.0};
+    params.eps = params.optimal_eps();
+
+    std::printf("n=%d, d=%g, u=%g, eps=%g\n", n, params.d, params.u, params.eps);
+    std::printf("%8s  %10s  %10s  %10s  %12s\n", "X", "AOP(peek)", "MOP(enq)", "OOP(deq)",
+                "AOP+MOP sum");
+    for (const auto& row : rows[n]) {
+      const double a = batch.latency(row.aop);
+      const double m = batch.latency(row.mop);
+      const double o = batch.latency(row.oop);
+      std::printf("%8.2f  %10.2f  %10.2f  %10.2f  %12.2f\n", row.X, a, m, o, a + m);
+    }
     std::printf("  baselines: centralized dequeue = %.2f (2d = %g), all-OOP dequeue = %.2f "
                 "(d+eps = %g)\n\n",
-                bench::measure_worst_latency(queue, central, params), 2 * params.d,
-                bench::measure_worst_latency(queue, alloop, params), params.d + params.eps);
+                batch.latency(baselines[n].first), 2 * params.d,
+                batch.latency(baselines[n].second), params.d + params.eps);
   }
   return 0;
 }

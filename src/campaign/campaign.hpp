@@ -1,0 +1,53 @@
+#pragma once
+// Campaign: a batch of independent simulator runs ("jobs") executed as one
+// experiment.  The paper's results are sweeps -- latency bounds over
+// (n, d, u, eps, X) grids, adversary choices and ADT/algorithm pairs -- so
+// the unit of experimentation here is not one World but a whole campaign:
+// an enumerated list of harness::RunSpec jobs, executed by the parallel
+// Executor (executor.hpp) and reduced by the metrics layer (metrics.hpp)
+// into machine-readable artifacts (sink.hpp).
+//
+// Determinism contract: a job's result depends only on the job itself, never
+// on sibling jobs, the worker count or completion order.  Results are keyed
+// by job index, so a campaign's output is bit-identical at --jobs 1 and
+// --jobs N.  The executor enforces the one sharing hazard (a stateful
+// DelayModel instance reused across jobs) by refusing to run such specs.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "harness/runner.hpp"
+
+namespace lintime::campaign {
+
+/// Ordered (axis, value) coordinates identifying a job within its campaign;
+/// carried verbatim into every sink so artifacts are self-describing.
+using Tags = std::vector<std::pair<std::string, std::string>>;
+
+/// One independent simulator run.
+struct Job {
+  std::string name;  ///< unique label within the campaign, e.g. "X=2.5/seed=3"
+  Tags tags;         ///< grid coordinates (or any key=value metadata)
+
+  /// The data type under test.  Not owned; must outlive the campaign run.
+  /// DataType instances are immutable (adt/data_type.hpp) and safe to share
+  /// across concurrently-executing jobs.
+  const adt::DataType* type = nullptr;
+
+  harness::RunSpec spec;
+
+  /// Run the linearizability checker on the recorded run and report the
+  /// verdict in the job's metrics.  Off by default: the check is exponential
+  /// in the worst case and most latency sweeps do not need it.
+  bool check_linearizability = false;
+};
+
+/// A named batch of jobs.  Expansion helpers live in grid.hpp.
+struct CampaignSpec {
+  std::string name;
+  std::vector<Job> jobs;
+};
+
+}  // namespace lintime::campaign

@@ -1,0 +1,127 @@
+#include "campaign/grid.hpp"
+
+#include <stdexcept>
+
+#include "campaign/sink.hpp"
+
+namespace lintime::campaign {
+
+const std::string& GridPoint::get(const std::string& name) const {
+  for (const auto& [axis, value] : coords_) {
+    if (axis == name) return value;
+  }
+  throw std::out_of_range("GridPoint: no axis named '" + name + "'");
+}
+
+double GridPoint::num(const std::string& name) const {
+  const std::string& v = get(name);
+  std::size_t pos = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v.size() || v.empty()) {
+    throw std::invalid_argument("GridPoint: axis '" + name + "' value '" + v +
+                                "' is not numeric");
+  }
+  return parsed;
+}
+
+std::int64_t GridPoint::integer(const std::string& name) const {
+  const std::string& v = get(name);
+  std::size_t pos = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v.size() || v.empty()) {
+    throw std::invalid_argument("GridPoint: axis '" + name + "' value '" + v +
+                                "' is not an integer");
+  }
+  return parsed;
+}
+
+std::string GridPoint::label() const {
+  std::string out;
+  for (const auto& [axis, value] : coords_) {
+    if (!out.empty()) out += '/';
+    out += axis;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+Grid& Grid::axis(std::string name, std::vector<std::string> values) {
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+Grid& Grid::axis(std::string name, const std::vector<double>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(fmt_double(v));
+  return axis(std::move(name), std::move(out));
+}
+
+Grid& Grid::axis(std::string name, const std::vector<int>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const int v : values) out.push_back(std::to_string(v));
+  return axis(std::move(name), std::move(out));
+}
+
+Grid& Grid::range(std::string name, int lo, int hi) {
+  if (hi < lo) throw std::invalid_argument("Grid::range: hi < lo");
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int v = lo; v <= hi; ++v) out.push_back(std::to_string(v));
+  return axis(std::move(name), std::move(out));
+}
+
+std::size_t Grid::size() const {
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.values.size();
+  return axes_.empty() ? 0 : n;
+}
+
+std::vector<GridPoint> Grid::points() const {
+  if (axes_.empty()) throw std::logic_error("Grid: no axes declared");
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].values.empty()) {
+      throw std::invalid_argument("Grid: axis '" + axes_[i].name + "' has no values");
+    }
+    for (std::size_t j = i + 1; j < axes_.size(); ++j) {
+      if (axes_[i].name == axes_[j].name) {
+        throw std::invalid_argument("Grid: duplicate axis '" + axes_[i].name + "'");
+      }
+    }
+  }
+
+  std::vector<GridPoint> out;
+  out.reserve(size());
+  std::vector<std::size_t> idx(axes_.size(), 0);
+  while (true) {
+    std::vector<std::pair<std::string, std::string>> coords;
+    coords.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      coords.emplace_back(axes_[a].name, axes_[a].values[idx[a]]);
+    }
+    out.emplace_back(std::move(coords));
+
+    // Odometer increment, last axis fastest.
+    std::size_t a = axes_.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes_[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) return out;
+    }
+  }
+}
+
+}  // namespace lintime::campaign

@@ -1,0 +1,51 @@
+#pragma once
+// Machine-readable campaign sinks.  Every experiment that routes through the
+// campaign layer can emit its results as JSON (full fidelity: per-job tags,
+// metrics, errors, plus the campaign aggregate) and CSV (one row per
+// (job, operation), friendly to spreadsheets and pandas).  Both formats are
+// deterministic functions of the CampaignResult -- number formatting is
+// shortest-round-trip and key order is fixed -- so output bytes are
+// identical regardless of executor thread count.
+//
+// Wall-clock timings are deliberately NOT part of these sinks (they would
+// break byte-identity); bench artifacts carry them separately via
+// write_bench_entry.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/executor.hpp"
+
+namespace lintime::campaign {
+
+/// Shortest decimal string that parses back to exactly `v` ("0.1", not
+/// "0.10000000000000001"); "inf"/"-inf"/"nan" for non-finite values.
+[[nodiscard]] std::string fmt_double(double v);
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Full campaign dump: {"campaign", "job_count", "jobs": [...], "aggregate"}.
+void write_json(std::ostream& os, const CampaignResult& result);
+[[nodiscard]] std::string to_json(const CampaignResult& result);
+
+/// Flat per-(job, op) latency table; job-level counters (steps, messages,
+/// drops, quiescence time) repeat on every row of the job so the file is
+/// self-contained.  Tags are flattened into a "tags" column as "k=v;k=v".
+/// Failed or op-less jobs still get one row (empty op columns).
+void write_csv(std::ostream& os, const CampaignResult& result);
+[[nodiscard]] std::string to_csv(const CampaignResult& result);
+
+/// One entry of a BENCH_*.json perf artifact: a JSON object with the
+/// campaign name, job/worker counts and measured wall-clock seconds.
+/// Appended by callers into a JSON array they manage.
+struct BenchEntry {
+  std::string campaign;
+  std::size_t job_count = 0;
+  int workers = 0;
+  double wall_seconds = 0;
+};
+void write_bench_entry(std::ostream& os, const BenchEntry& entry);
+
+}  // namespace lintime::campaign

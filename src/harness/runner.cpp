@@ -40,7 +40,7 @@ struct ScriptDriver {
 const LatencyStats& RunResult::stats_for(const std::string& op) const {
   const auto it = latency.find(op);
   if (it == latency.end()) {
-    throw std::invalid_argument("RunResult: no instances of operation '" + op + "'");
+    throw std::out_of_range("RunResult: no completed instances of operation '" + op + "'");
   }
   return it->second;
 }
@@ -68,6 +68,9 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
   config.params = spec.params;
   config.clock_offsets = spec.clock_offsets;
   config.delays = spec.delays;
+  config.clock_rates = spec.clock_rates;
+  config.drop_probability = spec.drop_probability;
+  config.drop_seed = spec.drop_seed;
 
   // The all-OOP baseline reuses Algorithm 1 against a category-erased view
   // of the type; the decorator must outlive the world.

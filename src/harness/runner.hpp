@@ -5,6 +5,7 @@
 // tests, examples and benches go through this harness, so experiment
 // configurations are declarative and reproducible.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -66,6 +67,13 @@ struct RunSpec {
   std::vector<sim::Time> clock_offsets;         ///< empty = all zero
   std::shared_ptr<sim::DelayModel> delays;      ///< null = ConstantDelay(d)
 
+  /// EXTENSIONS mirrored from sim::WorldConfig (outside the paper's model;
+  /// used by the robustness campaigns): clock drift rates (empty = all 1)
+  /// and deterministic message loss.
+  std::vector<sim::Time> clock_rates;
+  double drop_probability = 0;
+  std::uint64_t drop_seed = 0;
+
   std::vector<Call> calls;  ///< open-loop invocations
 
   /// Closed-loop scripts: scripts[p] is invoked back-to-back at process p,
@@ -94,6 +102,8 @@ struct RunResult {
   /// reports only the coordinator's state at index 0.
   std::vector<std::string> final_states;
 
+  /// Stats for `op`; throws std::out_of_range naming the operation if the
+  /// run completed no instance of it.
   [[nodiscard]] const LatencyStats& stats_for(const std::string& op) const;
 };
 

@@ -21,6 +21,13 @@ class DelayModel {
  public:
   virtual ~DelayModel() = default;
   [[nodiscard]] virtual Time delay(ProcId src, ProcId dst, Time send_real, std::uint64_t seq) = 0;
+
+  /// True if delay() never mutates internal state, making one instance safe
+  /// to share across Worlds (and across campaign jobs running on different
+  /// threads).  Defaults to false: the campaign executor refuses to share
+  /// any model that does not explicitly opt in, because a shared RNG would
+  /// make results depend on job execution order.
+  [[nodiscard]] virtual bool is_stateless() const { return false; }
 };
 
 /// All messages take the same delay (default: the maximum d, the worst case
@@ -29,6 +36,7 @@ class ConstantDelay final : public DelayModel {
  public:
   explicit ConstantDelay(Time delay) : delay_(delay) {}
   [[nodiscard]] Time delay(ProcId, ProcId, Time, std::uint64_t) override { return delay_; }
+  [[nodiscard]] bool is_stateless() const override { return true; }
 
  private:
   Time delay_;
@@ -50,6 +58,8 @@ class MatrixDelay final : public DelayModel {
   [[nodiscard]] Time delay(ProcId src, ProcId dst, Time, std::uint64_t) override {
     return matrix_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
   }
+
+  [[nodiscard]] bool is_stateless() const override { return true; }
 
   [[nodiscard]] const std::vector<std::vector<Time>>& matrix() const { return matrix_; }
   [[nodiscard]] Time& at(ProcId src, ProcId dst) {
@@ -84,6 +94,10 @@ class PiecewiseDelay final : public DelayModel {
   [[nodiscard]] Time delay(ProcId src, ProcId dst, Time send_real, std::uint64_t seq) override {
     DelayModel& m = (send_real < switch_time_) ? *before_ : *after_;
     return m.delay(src, dst, send_real, seq);
+  }
+
+  [[nodiscard]] bool is_stateless() const override {
+    return before_->is_stateless() && after_->is_stateless();
   }
 
  private:

@@ -203,12 +203,13 @@ void World::invoke_at(Time when, ProcId proc, std::string op, adt::Value arg) {
     throw std::invalid_argument("invoke_at: bad process id");
   }
   if (when < now_) throw std::invalid_argument("invoke_at: time in the past");
+  const std::uint64_t id = next_invoke_id_++;
+  pending_invokes_[id] = PendingInvoke{std::move(op), std::move(arg)};
   Event ev;
   ev.when = snap(when);
   ev.kind = Event::Kind::kInvoke;
   ev.proc = proc;
-  ev.op = std::move(op);
-  ev.arg = std::move(arg);
+  ev.invoke_id = id;
   push_event(std::move(ev));
 }
 
@@ -218,7 +219,7 @@ void World::run(std::uint64_t max_events) {
     if (++handled > max_events) {
       throw std::runtime_error("World::run: exceeded max_events; algorithm not quiescent?");
     }
-    Event ev = queue_.top();
+    const Event ev = queue_.top();
     queue_.pop();
     now_ = ev.when;
     dispatch(ev);
@@ -239,21 +240,31 @@ void World::dispatch(const Event& ev) {
         throw std::logic_error("invocation at p" + std::to_string(ev.proc) +
                                " while another instance is pending (user constraint violated)");
       }
+      auto inv_it = pending_invokes_.find(ev.invoke_id);
+      if (inv_it == pending_invokes_.end()) break;  // should not happen
+      PendingInvoke inv = std::move(inv_it->second);
+      pending_invokes_.erase(inv_it);
+
       step.trigger = Trigger::kInvoke;
-      step.op = ev.op;
-      step.arg = ev.arg;
+      step.op = inv.op;
+      step.arg = inv.arg;
 
       OpRecord op;
       op.proc = ev.proc;
-      op.op = ev.op;
-      op.arg = ev.arg;
+      op.op = std::move(inv.op);
+      op.arg = std::move(inv.arg);
       op.invoke_real = now_;
       op.uid = next_op_uid_++;
       pending_op_[pi] = static_cast<std::int64_t>(record_.ops.size());
       record_.ops.push_back(std::move(op));
 
+      // The OpRecord just pushed owns the payload now; nothing re-enters
+      // record_.ops until this dispatch returns, so the references stay valid
+      // through on_invoke (responses and hook-driven invoke_at only touch the
+      // event queue and existing records).
+      const OpRecord& rec = record_.ops[static_cast<std::size_t>(pending_op_[pi])];
       ContextImpl ctx(*this, ev.proc, step);
-      processes_[pi]->on_invoke(ctx, ev.op, ev.arg);
+      processes_[pi]->on_invoke(ctx, rec.op, rec.arg);
       break;
     }
     case Event::Kind::kDeliver: {

@@ -82,6 +82,12 @@ class World {
   [[nodiscard]] Process& process(ProcId p) { return *processes_[static_cast<std::size_t>(p)]; }
 
  private:
+  // Events are deliberately payload-free: the heap sifts in push/pop move
+  // each displaced element O(log n) times, so carrying the invocation's
+  // op-name string and argument Value inside Event would copy them on every
+  // sift.  Payloads live in side maps (pending_invokes_ / in_flight_ /
+  // timers_) keyed by id -- one move in at schedule time, one move out at
+  // dispatch -- and Event stays a small trivially-movable struct.
   struct Event {
     Time when = 0;
     std::uint64_t seq = 0;  ///< tie-break: FIFO among simultaneous events
@@ -89,8 +95,7 @@ class World {
     ProcId proc = 0;
 
     // kInvoke:
-    std::string op;
-    adt::Value arg;
+    std::uint64_t invoke_id = 0;
     // kDeliver:
     std::uint64_t message_id = 0;
     // kTimer:
@@ -117,6 +122,11 @@ class World {
     std::any data;
   };
 
+  struct PendingInvoke {
+    std::string op;
+    adt::Value arg;
+  };
+
   struct PendingMessage {
     ProcId src;
     ProcId dst;
@@ -135,12 +145,14 @@ class World {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_id_ = 1;
   std::uint64_t next_message_id_ = 1;
+  std::uint64_t next_invoke_id_ = 1;
   std::mt19937_64 drop_rng_{0};
   std::uint64_t next_op_uid_ = 1;
   Time now_ = 0;
 
   std::map<std::uint64_t, PendingTimer> timers_;      ///< live timers
   std::map<std::uint64_t, PendingMessage> in_flight_; ///< undelivered messages
+  std::map<std::uint64_t, PendingInvoke> pending_invokes_;  ///< scheduled invocations
 
   /// Pending invocation per process (index into record_.ops), or -1.
   std::vector<std::int64_t> pending_op_;

@@ -1,0 +1,78 @@
+// Tests for parameter-grid expansion: deterministic ordering, value
+// canonicalization, labels, and spec-error detection.
+
+#include "campaign/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lintime::campaign {
+namespace {
+
+TEST(GridTest, CartesianProductFirstAxisSlowest) {
+  Grid grid;
+  grid.axis("a", std::vector<std::string>{"x", "y"});
+  grid.axis("b", std::vector<int>{1, 2, 3});
+  EXPECT_EQ(grid.size(), 6u);
+
+  const auto pts = grid.points();
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0].label(), "a=x/b=1");
+  EXPECT_EQ(pts[1].label(), "a=x/b=2");
+  EXPECT_EQ(pts[2].label(), "a=x/b=3");
+  EXPECT_EQ(pts[3].label(), "a=y/b=1");
+  EXPECT_EQ(pts[5].label(), "a=y/b=3");
+}
+
+TEST(GridTest, AccessorsParseCanonicalValues) {
+  Grid grid;
+  grid.axis("xfrac", std::vector<double>{0.25});
+  grid.range("seed", 7, 7);
+  const auto pts = grid.points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].get("xfrac"), "0.25");
+  EXPECT_DOUBLE_EQ(pts[0].num("xfrac"), 0.25);
+  EXPECT_EQ(pts[0].integer("seed"), 7);
+  EXPECT_THROW((void)pts[0].get("nope"), std::out_of_range);
+  EXPECT_THROW((void)pts[0].integer("xfrac"), std::invalid_argument);
+}
+
+TEST(GridTest, DoubleAxisUsesShortestRoundTrip) {
+  // 0.1 must come out as "0.1", not a 17-digit expansion; the label is part
+  // of the job name and must be stable and human-readable.
+  Grid grid;
+  grid.axis("v", std::vector<double>{0.1, 1.0 / 3.0});
+  const auto pts = grid.points();
+  EXPECT_EQ(pts[0].get("v"), "0.1");
+  EXPECT_DOUBLE_EQ(pts[1].num("v"), 1.0 / 3.0);  // round-trips exactly
+}
+
+TEST(GridTest, RangeIsInclusive) {
+  Grid grid;
+  grid.range("seed", 1, 4);
+  EXPECT_EQ(grid.size(), 4u);
+  const auto pts = grid.points();
+  EXPECT_EQ(pts.front().integer("seed"), 1);
+  EXPECT_EQ(pts.back().integer("seed"), 4);
+  EXPECT_THROW(Grid().range("bad", 3, 2), std::invalid_argument);
+}
+
+TEST(GridTest, SpecErrorsDetectedAtExpansion) {
+  EXPECT_THROW((void)Grid().points(), std::logic_error);
+
+  Grid empty_axis;
+  empty_axis.axis("a", std::vector<std::string>{});
+  EXPECT_THROW((void)empty_axis.points(), std::invalid_argument);
+
+  Grid dup;
+  dup.axis("a", std::vector<int>{1}).axis("a", std::vector<int>{2});
+  EXPECT_THROW((void)dup.points(), std::invalid_argument);
+}
+
+TEST(GridTest, SizeOfEmptyGridIsZero) {
+  EXPECT_EQ(Grid().size(), 0u);
+}
+
+}  // namespace
+}  // namespace lintime::campaign

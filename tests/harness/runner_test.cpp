@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "adt/queue_type.hpp"
 #include "adt/register_type.hpp"
 
@@ -45,7 +48,15 @@ TEST(RunnerTest, IncompleteOpsExcludedFromStats) {
 
 TEST(RunnerTest, StatsForThrowsOnMissingOp) {
   RunResult result;
-  EXPECT_THROW((void)result.stats_for("nope"), std::invalid_argument);
+  EXPECT_THROW((void)result.stats_for("nope"), std::out_of_range);
+  try {
+    (void)result.stats_for("frobnicate");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The message must name the missing operation so a campaign job that
+    // queries the wrong op fails with an actionable error.
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
 }
 
 TEST(RunnerTest, ClosedLoopScriptsRunToCompletion) {

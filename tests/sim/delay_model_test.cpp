@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 namespace lintime::sim {
 namespace {
 
@@ -70,6 +73,31 @@ TEST(DelayModelTest, PiecewiseSwitchesAtTime) {
   EXPECT_EQ(m.delay(0, 1, 99.9, 0), 8.0);
   EXPECT_EQ(m.delay(0, 1, 100.0, 0), 10.0);
   EXPECT_EQ(m.delay(0, 1, 200.0, 0), 10.0);
+}
+
+TEST(DelayModelTest, PiecewiseBoundaryUsesAfterModel) {
+  // The switch is inclusive: a message sent exactly at switch_time must use
+  // the `after` model.  Campaigns that schedule a regime change at a send
+  // instant depend on this being exact, not a <= vs < accident.
+  auto before = std::make_shared<ConstantDelay>(8.0);
+  auto after = std::make_shared<ConstantDelay>(10.0);
+  PiecewiseDelay m(before, 50.0, after);
+  EXPECT_DOUBLE_EQ(m.delay(0, 1, std::nextafter(50.0, 0.0), 0), 8.0);
+  EXPECT_DOUBLE_EQ(m.delay(0, 1, 50.0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(m.delay(0, 1, std::nextafter(50.0, 100.0), 0), 10.0);
+}
+
+TEST(DelayModelTest, StatelessnessClassification) {
+  // The campaign executor refuses to share stateful models across jobs;
+  // these classifications are what that check keys on.
+  EXPECT_TRUE(ConstantDelay(9.0).is_stateless());
+  EXPECT_TRUE(MatrixDelay::uniform(2, 8.0).is_stateless());
+  EXPECT_FALSE(UniformRandomDelay(8.0, 10.0, 1).is_stateless());
+  auto c8 = std::make_shared<ConstantDelay>(8.0);
+  auto c10 = std::make_shared<ConstantDelay>(10.0);
+  EXPECT_TRUE(PiecewiseDelay(c8, 50.0, c10).is_stateless());
+  auto rng = std::make_shared<UniformRandomDelay>(8.0, 10.0, 1);
+  EXPECT_FALSE(PiecewiseDelay(c8, 50.0, rng).is_stateless());
 }
 
 TEST(DelayModelTest, FunctionDelayDelegates) {
