@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "lin/checker.hpp"
 
@@ -17,7 +18,10 @@ namespace {
 /// a confusing per-job error or, worse, order-dependent output.
 void validate(const CampaignSpec& spec) {
   std::set<std::string> names;
-  std::map<const sim::DelayModel*, std::size_t> delay_uses;
+  // Pointer-keyed, but lookup-only (never iterated): which error fires, and
+  // which jobs it names, is decided by job order — not by where the models
+  // happen to be allocated.
+  std::unordered_map<const sim::DelayModel*, std::size_t> first_delay_use;
   for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
     const Job& job = spec.jobs[i];
     if (job.type == nullptr) {
@@ -28,15 +32,14 @@ void validate(const CampaignSpec& spec) {
       throw std::invalid_argument("campaign '" + spec.name + "': duplicate job name '" +
                                   job.name + "'");
     }
-    if (job.spec.delays != nullptr) ++delay_uses[job.spec.delays.get()];
-  }
-  for (const auto& [model, uses] : delay_uses) {
-    if (uses > 1 && !model->is_stateless()) {
+    if (job.spec.delays == nullptr) continue;
+    const auto [it, inserted] = first_delay_use.try_emplace(job.spec.delays.get(), i);
+    if (!inserted && !job.spec.delays->is_stateless()) {
       throw std::invalid_argument(
-          "campaign '" + spec.name + "': a stateful DelayModel instance is shared by " +
-          std::to_string(uses) +
-          " jobs; results would depend on execution order.  Give each job its own instance "
-          "(or use a stateless model).");
+          "campaign '" + spec.name + "': jobs #" + std::to_string(it->second) + " ('" +
+          spec.jobs[it->second].name + "') and #" + std::to_string(i) + " ('" + job.name +
+          "') share a stateful DelayModel instance; results would depend on execution "
+          "order.  Give each job its own instance (or use a stateless model).");
     }
   }
 }

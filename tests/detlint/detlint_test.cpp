@@ -1,0 +1,192 @@
+// Self-tests for the detlint scanner: every rule must trigger on its
+// known-bad fixture, stay quiet on the known-good ones, and honor inline
+// suppressions and config allowlists.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+using detlint::Config;
+using detlint::Finding;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::vector<Finding> scan_fixture(const std::string& name) {
+  return detlint::scan_source(name, read_fixture(name), Config{});
+}
+
+/// Asserts every finding carries `rule` and that they land on exactly
+/// `lines` (1-based).
+void expect_rule_on_lines(const std::string& fixture, const std::string& rule,
+                          const std::set<int>& lines) {
+  const std::vector<Finding> findings = scan_fixture(fixture);
+  std::set<int> got;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, rule) << fixture << ":" << f.line << " — " << f.message;
+    got.insert(f.line);
+  }
+  EXPECT_EQ(got, lines) << "wrong finding lines in " << fixture;
+}
+
+TEST(DetlintRules, WallClockFixture) {
+  expect_rule_on_lines("bad_wallclock.cpp", "wall-clock", {6, 11, 15, 19});
+}
+
+TEST(DetlintRules, GlobalRandFixture) {
+  expect_rule_on_lines("bad_rand.cpp", "global-rand", {6, 10, 14});
+}
+
+TEST(DetlintRules, UnseededEngineFixture) {
+  expect_rule_on_lines("bad_unseeded_engine.cpp", "unseeded-engine", {5, 10});
+}
+
+TEST(DetlintRules, UnorderedIterFixture) {
+  expect_rule_on_lines("bad_unordered_iter.cpp", "unordered-iter", {9, 17});
+}
+
+TEST(DetlintRules, PointerKeyFixture) {
+  expect_rule_on_lines("bad_pointer_key.cpp", "pointer-key", {11, 16});
+}
+
+TEST(DetlintRules, MutableStaticFixture) {
+  expect_rule_on_lines("bad_mutable_static.cpp", "mutable-static", {5, 12});
+}
+
+TEST(DetlintRules, ThreadSpawnFixture) {
+  expect_rule_on_lines("bad_thread.cpp", "thread-spawn", {6, 11, 16, 17});
+}
+
+TEST(DetlintRules, GoodFixturesAreClean) {
+  for (const std::string name : {"good_clean.cpp", "good_suppressed.cpp"}) {
+    const std::vector<Finding> findings = scan_fixture(name);
+    EXPECT_TRUE(findings.empty())
+        << name << " tripped " << findings.size() << " finding(s), first: "
+        << (findings.empty() ? "" : findings[0].file + ":" + std::to_string(findings[0].line) +
+                                        " [" + findings[0].rule + "] " + findings[0].message);
+  }
+}
+
+TEST(DetlintScanner, StringLiteralsAndCommentsAreInert) {
+  const std::string text =
+      "// std::rand() and steady_clock::now() in a comment\n"
+      "/* srand(1); std::thread t; */\n"
+      "const char* s = \"time(nullptr) std::async random_device\";\n"
+      "const char* r = R\"(std::rand() srand(7))\";\n";
+  EXPECT_TRUE(detlint::scan_source("inert.cpp", text, Config{}).empty());
+}
+
+TEST(DetlintScanner, MarkerInsideStringLiteralIsNotASuppression) {
+  // The marker only counts in comments; in a string it must neither
+  // suppress anything nor report bad-suppression.
+  const std::string text =
+      "const char* m = \"detlint:allow(\";\n"
+      "int bad = std::rand();\n";
+  const auto findings = detlint::scan_source("marker.cpp", text, Config{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "global-rand");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(DetlintScanner, UnknownRuleInSuppressionIsReported) {
+  const std::string text = "int x = 0;  // detlint:allow(no-such-rule): typo\n";
+  const auto findings = detlint::scan_source("typo.cpp", text, Config{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "bad-suppression");
+}
+
+TEST(DetlintScanner, DigitSeparatorIsNotACharLiteral) {
+  // If 1'000 opened a char literal, the rand() call after it would be
+  // swallowed as "inside the literal" and missed.
+  const std::string text = "int x = 1'000'000; int y = std::rand();\n";
+  const auto findings = detlint::scan_source("sep.cpp", text, Config{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "global-rand");
+}
+
+TEST(DetlintScanner, AliasOfUnorderedMapIsTracked) {
+  const std::string text =
+      "using Index = std::unordered_map<int, int>;\n"
+      "int sum(const Index& idx) {\n"
+      "  int n = 0;\n"
+      "  for (const auto& [k, v] : idx) n += v;\n"
+      "  return n;\n"
+      "}\n";
+  const auto findings = detlint::scan_source("alias.cpp", text, Config{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(DetlintScanner, HardwareConcurrencyIsNotASpawn) {
+  const std::string text = "unsigned n = std::thread::hardware_concurrency();\n";
+  EXPECT_TRUE(detlint::scan_source("hc.cpp", text, Config{}).empty());
+}
+
+TEST(DetlintScanner, FindingsAreSortedAndDeduplicated) {
+  const std::string text =
+      "std::map<int*, int> b;\n"
+      "int a = std::rand();\n";
+  const auto findings = detlint::scan_source("order.cpp", text, Config{});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[0].rule, "pointer-key");
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[1].rule, "global-rand");
+}
+
+TEST(DetlintConfig, GlobMatch) {
+  EXPECT_TRUE(detlint::glob_match("src/*", "src/campaign/executor.cpp"));
+  EXPECT_TRUE(detlint::glob_match("src/campaign/executor.cpp", "src/campaign/executor.cpp"));
+  EXPECT_TRUE(detlint::glob_match("*executor*", "src/campaign/executor.hpp"));
+  EXPECT_TRUE(detlint::glob_match("bench/?c_gap.cpp", "bench/sc_gap.cpp"));
+  EXPECT_FALSE(detlint::glob_match("src/*", "bench/sc_gap.cpp"));
+  EXPECT_FALSE(detlint::glob_match("src", "src/campaign/executor.cpp"));
+}
+
+TEST(DetlintConfig, AllowPathDisablesRuleForMatchingFiles) {
+  Config config;
+  config.rules["thread-spawn"].allow_paths = {"src/campaign/executor.cpp"};
+  const std::string text = "std::thread t([] {});\n";
+  EXPECT_TRUE(detlint::scan_source("src/campaign/executor.cpp", text, config).empty());
+  EXPECT_FALSE(detlint::scan_source("src/sim/world.cpp", text, config).empty());
+}
+
+TEST(DetlintConfig, DisabledRuleReportsNothing) {
+  Config config;
+  config.rules["global-rand"].enabled = false;
+  EXPECT_TRUE(detlint::scan_source("x.cpp", "int a = std::rand();\n", config).empty());
+}
+
+TEST(DetlintConfig, EveryRuleHasADescription) {
+  for (const auto& rule : detlint::all_rules()) {
+    EXPECT_FALSE(detlint::rule_description(rule).empty()) << rule;
+  }
+}
+
+TEST(DetlintReport, JsonShapeAndEscaping) {
+  const std::vector<Finding> findings = {
+      {"a \"quoted\".cpp", 3, "wall-clock", "msg", "excerpt\twith\ttabs"}};
+  const std::string json = detlint::to_json(findings);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("a \\\"quoted\\\".cpp"), std::string::npos);
+  EXPECT_NE(json.find("excerpt\\twith\\ttabs"), std::string::npos);
+  EXPECT_EQ(detlint::to_json({}).rfind("{\"count\":0,\"findings\":[]}", 0), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+// Fixture: both declarations below must trip `mutable-static`.
+#include <cstdint>
+#include <vector>
+
+static std::uint64_t g_call_count = 0;
+
+std::uint64_t bad_counter() {
+  return ++g_call_count;
+}
+
+const std::vector<int>& bad_cache() {
+  static std::vector<int> cache;
+  return cache;
+}

@@ -1,0 +1,18 @@
+// Fixture: both containers below must trip `pointer-key`.
+#include <cstddef>
+#include <map>
+#include <set>
+
+struct Widget {
+  int id;
+};
+
+std::size_t bad_map_key(const Widget* w) {
+  std::map<const Widget*, std::size_t> uses;
+  return uses.count(w);
+}
+
+bool bad_set_key(Widget* w) {
+  std::set<Widget*> live;
+  return live.contains(w);
+}

@@ -1,0 +1,16 @@
+// Fixture: every use below must trip `global-rand`.
+#include <cstdlib>
+#include <random>
+
+int bad_c_rand() {
+  return std::rand();
+}
+
+void bad_seed_global() {
+  srand(42);
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,18 @@
+// Fixture: every spawn below must trip `thread-spawn`.
+#include <future>
+#include <thread>
+
+int bad_async() {
+  auto f = std::async(std::launch::async, [] { return 1; });
+  return f.get();
+}
+
+void bad_thread() {
+  std::thread t([] {});
+  t.join();
+}
+
+void bad_detach() {
+  std::thread t([] {});
+  t.detach();
+}

@@ -1,0 +1,19 @@
+// Fixture: the loops below must trip `unordered-iter`.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<std::string> bad_range_for(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> out;
+  for (const auto& [name, n] : counts) {
+    out.push_back(name + ":" + std::to_string(n));
+  }
+  return out;
+}
+
+int bad_iterators(const std::unordered_set<int>& seen) {
+  int sum = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) sum += *it;
+  return sum;
+}

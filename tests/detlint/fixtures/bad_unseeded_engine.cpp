@@ -1,0 +1,11 @@
+// Fixture: both declarations below must trip `unseeded-engine`.
+#include <random>
+
+unsigned bad_local() {
+  std::mt19937_64 rng;
+  return static_cast<unsigned>(rng());
+}
+
+unsigned bad_temporary() {
+  return static_cast<unsigned>(std::mt19937{}());
+}

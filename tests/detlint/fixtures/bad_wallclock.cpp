@@ -1,0 +1,20 @@
+// Fixture: every line below must trip `wall-clock`.
+#include <chrono>
+#include <ctime>
+
+long bad_steady() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_ctime() {
+  return static_cast<long>(std::time(nullptr));
+}
+
+long bad_bare_time() {
+  return static_cast<long>(time(nullptr));
+}

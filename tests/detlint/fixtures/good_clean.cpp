@@ -1,0 +1,70 @@
+// Fixture: none of this may trip any detlint rule — it exercises the
+// idioms the real tree uses right next to the hazardous look-alikes.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+// Seeded at the declaration: fine.
+std::uint64_t seeded_local(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return rng();
+}
+
+// Seeded in the constructor init list: fine, even though the member
+// declaration itself has no arguments.
+class SeededMember {
+ public:
+  explicit SeededMember(std::uint64_t seed) : rng_(seed) {}
+  std::uint64_t next() { return rng_(); }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// Membership-only use of a hash set (no iteration): fine.
+bool dedup(std::unordered_set<std::string>& seen, const std::string& key) {
+  return seen.insert(key).second;
+}
+
+// Ordered map with a value-typed key, iterated: fine.
+std::vector<std::string> sorted_keys(const std::map<std::string, int>& m) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : m) {
+    if (v > 0) out.push_back(k);
+  }
+  return out;
+}
+
+// Pointer as mapped VALUE (not key): fine.
+std::map<std::int64_t, const std::string*> index_by_id(const std::vector<std::string>& names) {
+  std::map<std::int64_t, const std::string*> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out[static_cast<std::int64_t>(i)] = &names[i];
+  }
+  return out;
+}
+
+// Immutable statics and static member functions: fine.
+static const char* kName = "good";
+static constexpr int kLimit = 1'000'000;
+
+struct Factory {
+  static Factory make() { return {}; }
+};
+
+// hardware_concurrency is a pure query, not a spawn: fine.
+#include <thread>
+unsigned cores() { return std::thread::hardware_concurrency(); }
+
+// Prose that mentions std::rand(), srand(), steady_clock::now(), or
+// "for (auto& x : unordered_map_var)" must never trip: comments and
+// string literals are stripped before rules run.
+const char* description() {
+  return "calls time(nullptr) and std::async in a string literal only";
+}
+
+const char* usage() { return kName; }
+int limit() { return kLimit; }

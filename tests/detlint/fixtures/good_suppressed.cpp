@@ -1,0 +1,26 @@
+// Fixture: hazardous constructs, each neutralized by an inline
+// `detlint:allow` — the whole file must scan clean.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+// Same-line suppression.
+double wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // detlint:allow(wall-clock): measuring the harness itself
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+// Preceding-comment-line suppression.
+int legacy_rand() {
+  // detlint:allow(global-rand): exercising the suppression-on-line-above form
+  return std::rand();
+}
+
+// Multi-rule suppression on one marker.
+std::size_t count_all(const std::unordered_map<int, int>& m) {
+  std::size_t n = 0;
+  // detlint:allow(unordered-iter, mutable-static): order-insensitive reduction
+  for (const auto& [k, v] : m) n += static_cast<std::size_t>(v);
+  return n;
+}

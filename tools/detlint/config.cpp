@@ -1,0 +1,191 @@
+// detlint config: a deliberately minimal TOML subset — `[section]` headers,
+// `key = value` with string/bool scalars and single-line string arrays.
+// Unknown sections, keys, and rule ids are hard errors so a typo in
+// detlint.toml cannot silently disable a rule.
+
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace detlint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(const std::filesystem::path& file, int line, const std::string& what) {
+  throw std::runtime_error(file.string() + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Parses `"a"` -> a.  Quotes are required for strings.
+std::string parse_string(const std::filesystem::path& file, int line, const std::string& v) {
+  if (v.size() < 2 || v.front() != '"' || v.back() != '"') {
+    fail(file, line, "expected a double-quoted string, got: " + v);
+  }
+  return v.substr(1, v.size() - 2);
+}
+
+std::vector<std::string> parse_string_array(const std::filesystem::path& file, int line,
+                                            const std::string& v) {
+  if (v.size() < 2 || v.front() != '[' || v.back() != ']') {
+    fail(file, line, "expected a single-line array [\"...\"], got: " + v);
+  }
+  std::vector<std::string> out;
+  std::stringstream body(v.substr(1, v.size() - 2));
+  std::string item;
+  while (std::getline(body, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    out.push_back(parse_string(file, line, item));
+  }
+  return out;
+}
+
+bool parse_bool(const std::filesystem::path& file, int line, const std::string& v) {
+  if (v == "true") return true;
+  if (v == "false") return false;
+  fail(file, line, "expected true or false, got: " + v);
+}
+
+}  // namespace
+
+bool glob_match(const std::string& pattern, const std::string& path) {
+  // Iterative wildcard match: '*' matches any run (including '/'), '?' one
+  // character.  Classic two-pointer algorithm with backtracking to the last
+  // star.
+  std::size_t p = 0;
+  std::size_t s = 0;
+  std::size_t star = std::string::npos;
+  std::size_t star_s = 0;
+  while (s < path.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == path[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_s = s;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+Config load_config(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("detlint: cannot read config " + path.string());
+
+  Config config;
+  std::string section;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(path, lineno, "unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section != "scan") {
+        if (section.rfind("rule.", 0) != 0) {
+          fail(path, lineno, "unknown section [" + section + "] (expected [scan] or [rule.<id>])");
+        }
+        const std::string rule = section.substr(5);
+        const auto& known = all_rules();
+        if (std::find(known.begin(), known.end(), rule) == known.end()) {
+          fail(path, lineno, "unknown rule '" + rule + "' (see detlint --list-rules)");
+        }
+        config.rules[rule];  // materialize with defaults
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(path, lineno, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (section == "scan") {
+      if (key == "roots") config.roots = parse_string_array(path, lineno, value);
+      else if (key == "extensions") config.extensions = parse_string_array(path, lineno, value);
+      else if (key == "exclude") config.exclude = parse_string_array(path, lineno, value);
+      else fail(path, lineno, "unknown key '" + key + "' in [scan]");
+    } else if (section.rfind("rule.", 0) == 0) {
+      RuleConfig& rule = config.rules[section.substr(5)];
+      if (key == "enabled") rule.enabled = parse_bool(path, lineno, value);
+      else if (key == "allow") rule.allow_paths = parse_string_array(path, lineno, value);
+      else fail(path, lineno, "unknown key '" + key + "' in [" + section + "]");
+    } else {
+      fail(path, lineno, "key outside any section");
+    }
+  }
+  return config;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_human(std::ostream& os, const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    if (!f.excerpt.empty()) os << "    " << f.excerpt << "\n";
+  }
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\"count\":" << findings.size() << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) os << ",";
+    os << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line << ",\"rule\":\""
+       << json_escape(f.rule) << "\",\"message\":\"" << json_escape(f.message)
+       << "\",\"excerpt\":\"" << json_escape(f.excerpt) << "\"}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace detlint

@@ -1,0 +1,89 @@
+#pragma once
+// detlint — a determinism & concurrency static-analysis pass for this repo.
+//
+// The simulator, checker, and campaign subsystems promise byte-identical
+// output for a given seed at any parallelism level (DESIGN.md, "Determinism
+// contract").  detlint audits the source tree for the construct classes that
+// historically break that promise: wall-clock reads, unseeded randomness,
+// iteration over hash containers, pointer-derived ordering, mutable static
+// state, and ad-hoc thread spawning.
+//
+// It is a token/line-level scanner on purpose: no libclang dependency, runs
+// in milliseconds, and the rules target idioms that are reliably visible at
+// the token level.  Comments and string/char literals are stripped before
+// rules run, so prose never trips a rule.  False positives are expected to
+// be rare and are silenced with a `detlint:allow` comment — the marker, a
+// parenthesized rule list, and a reason — on the offending line (or alone
+// on the line above), or with per-rule path allowlists in detlint.toml.
+
+#include <filesystem>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+/// One rule violation.  `file` is the path exactly as scanned (repo-relative
+/// when walking configured roots), `line` is 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string excerpt;
+};
+
+struct RuleConfig {
+  bool enabled = true;
+  /// Glob patterns (see glob_match) of paths where this rule is off.
+  std::vector<std::string> allow_paths;
+};
+
+struct Config {
+  /// Directories (repo-relative) to walk when no explicit paths are given.
+  std::vector<std::string> roots = {"src", "bench", "examples"};
+  /// File extensions eligible for scanning.
+  std::vector<std::string> extensions = {".cpp", ".hpp", ".h", ".cc"};
+  /// Glob patterns of paths excluded from scanning entirely.
+  std::vector<std::string> exclude;
+  /// Per-rule overrides, keyed by rule id.
+  std::map<std::string, RuleConfig> rules;
+
+  [[nodiscard]] bool rule_enabled(const std::string& rule, const std::string& path) const;
+};
+
+/// All rule ids, in stable reporting order.
+const std::vector<std::string>& all_rules();
+
+/// One-line description of a rule id (empty for unknown ids).
+std::string rule_description(const std::string& rule);
+
+/// Minimal-TOML config loader (sections, string/bool scalars, single-line
+/// string arrays).  Throws std::runtime_error with file:line on bad syntax
+/// or unknown rule ids.
+Config load_config(const std::filesystem::path& path);
+
+/// `*` matches any run of characters (including '/'), `?` exactly one.
+/// Patterns are matched against the full repo-relative path.
+bool glob_match(const std::string& pattern, const std::string& path);
+
+/// Scans one file's contents.  `path` is used for reporting and for
+/// allowlist matching.
+std::vector<Finding> scan_source(const std::string& path, const std::string& text,
+                                 const Config& config);
+
+/// Walks the configured roots under `root` (or `paths`, when non-empty:
+/// files or directories, repo-relative) and scans every eligible file.
+/// File order — and therefore finding order — is sorted, so output is
+/// deterministic.  Throws std::runtime_error if a requested path is absent.
+std::vector<Finding> scan_tree(const std::filesystem::path& root, const Config& config,
+                               const std::vector<std::string>& paths = {});
+
+/// Human-readable report: "file:line: [rule] message" plus the source line.
+void write_human(std::ostream& os, const std::vector<Finding>& findings);
+
+/// Machine-readable report: {"count": N, "findings": [...]}.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace detlint

@@ -1,0 +1,96 @@
+// detlint CLI.  Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: detlint [options] [paths...]\n"
+        "\n"
+        "Scans C++ sources for determinism & concurrency hazards.  With no\n"
+        "paths, scans the roots configured in detlint.toml.\n"
+        "\n"
+        "options:\n"
+        "  --root DIR     repo root to scan from (default: .)\n"
+        "  --config FILE  config file (default: <root>/detlint.toml if present)\n"
+        "  --json         machine-readable output on stdout\n"
+        "  --list-rules   print rule ids and descriptions, then exit\n"
+        "  -h, --help     this message\n"
+        "\n"
+        "Suppress a finding with `// detlint:allow(<rule>): <reason>` on the\n"
+        "offending line, or alone on the line above it.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::string config_path;
+  bool json = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& rule : detlint::all_rules()) {
+        std::cout << rule << "  —  " << detlint::rule_description(rule) << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--root" || arg == "--config") {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: " << arg << " needs an argument\n";
+        return 2;
+      }
+      if (arg == "--config") config_path = argv[i + 1];
+      else root = argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+
+  try {
+    detlint::Config config;
+    if (!config_path.empty()) {
+      config = detlint::load_config(config_path);
+    } else if (std::filesystem::exists(root / "detlint.toml")) {
+      config = detlint::load_config(root / "detlint.toml");
+    }
+
+    const std::vector<detlint::Finding> findings = detlint::scan_tree(root, config, paths);
+    if (json) {
+      std::cout << detlint::to_json(findings);
+    } else {
+      detlint::write_human(std::cout, findings);
+      if (findings.empty()) {
+        std::cout << "detlint: clean\n";
+      } else {
+        std::cout << "detlint: " << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << "\n";
+      }
+    }
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

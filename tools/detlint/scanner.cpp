@@ -1,0 +1,727 @@
+// detlint scanner: comment/string stripping, inline suppressions, and the
+// rule engines.  Everything here is deliberately line/token-level — see
+// detlint.hpp for the rationale.
+
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace detlint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_hex(char c) { return std::isxdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Whole-word occurrence of `word` in `s` starting at `pos`, else npos.
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t pos = 0) {
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident(s[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+bool has_word(const std::string& s, const std::string& word) {
+  return find_word(s, word) != std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])) != 0) ++pos;
+  return pos;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// The two channels of a source file: `code` has comments and string/char
+/// literals blanked (replaced by spaces, so column numbers stay meaningful);
+/// `comments` has the inverse — only comment text survives.  Rules run on
+/// `code`; suppression markers are honored only in `comments`, so a string
+/// literal mentioning detlint:allow (e.g. in this very scanner) is inert.
+/// Handles //, /*...*/, "..." with escapes, raw strings R"delim(...)delim",
+/// '...' char literals, and C++14 digit separators (1'000'000).
+struct StrippedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw) {
+  StrippedSource out;
+  out.code.reserve(raw.size());
+  out.comments.reserve(raw.size());
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_terminator;  // ")delim\"" of the active raw string
+
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    std::string comment(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        const std::size_t end = line.find("*/", i);
+        const std::size_t stop = end == std::string::npos ? line.size() : end;
+        for (std::size_t k = i; k < stop; ++k) comment[k] = line[k];
+        if (end == std::string::npos) { i = line.size(); break; }
+        in_block_comment = false;
+        i = end + 2;
+        continue;
+      }
+      if (in_raw_string) {
+        const std::size_t end = line.find(raw_terminator, i);
+        if (end == std::string::npos) { i = line.size(); break; }
+        in_raw_string = false;
+        i = end + raw_terminator.size();
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        for (std::size_t k = i + 2; k < line.size(); ++k) comment[k] = line[k];
+        break;  // line comment
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        if (i > 0 && line[i - 1] == 'R') {
+          // Raw string: R"delim( ... )delim"
+          const std::size_t open = line.find('(', i + 1);
+          const std::string delim =
+              open == std::string::npos ? "" : line.substr(i + 1, open - i - 1);
+          raw_terminator = ")" + delim + "\"";
+          const std::size_t end =
+              open == std::string::npos ? std::string::npos : line.find(raw_terminator, open);
+          if (end == std::string::npos) {
+            in_raw_string = true;
+            i = line.size();
+          } else {
+            i = end + raw_terminator.size();
+          }
+          continue;
+        }
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') { i += 2; continue; }
+          if (line[i] == '"') { ++i; break; }
+          ++i;
+        }
+        continue;
+      }
+      if (c == '\'') {
+        // Digit separator (1'000) keeps scanning as code.
+        if (i > 0 && is_hex(line[i - 1]) && i + 1 < line.size() && is_hex(line[i + 1])) {
+          code[i] = ' ';
+          ++i;
+          continue;
+        }
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') { i += 2; continue; }
+          if (line[i] == '\'') { ++i; break; }
+          ++i;
+        }
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+    out.code.push_back(std::move(code));
+    out.comments.push_back(std::move(comment));
+  }
+  return out;
+}
+
+/// Joins up to `max_lines` code lines starting at `start` — enough context
+/// for declarations and for-headers that wrap.
+std::string join_lines(const std::vector<std::string>& code, std::size_t start,
+                       std::size_t max_lines = 4) {
+  std::string out;
+  for (std::size_t i = start; i < code.size() && i < start + max_lines; ++i) {
+    out += code[i];
+    out += ' ';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Inline suppressions: a comment holding the `detlint:allow` marker followed
+// by a parenthesized, comma-separated rule list and an optional ": reason".
+// A suppression on a code-bearing line covers that line; a suppression on a
+// comment-only line covers the next line.  (The marker is spelled out here
+// without its parenthesis so this very comment does not parse as one.)
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // line (1-based) -> suppressed rule ids
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Finding> errors;  // unknown rule ids => bad-suppression findings
+
+  [[nodiscard]] bool covers(int line, const std::string& rule) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) != 0;
+  }
+};
+
+Suppressions collect_suppressions(const std::string& path, const std::vector<std::string>& raw,
+                                  const StrippedSource& src) {
+  static const std::string kMarker = "detlint:allow(";
+  Suppressions sup;
+  for (std::size_t i = 0; i < src.comments.size(); ++i) {
+    const std::string& comment = src.comments[i];
+    const std::size_t at = comment.find(kMarker);
+    if (at == std::string::npos) continue;
+    const std::size_t open = at + kMarker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) {
+      sup.errors.push_back({path, static_cast<int>(i + 1), "bad-suppression",
+                            "unterminated detlint:allow(...)", trim(raw[i])});
+      continue;
+    }
+    // Code-bearing lines shield themselves; comment-only lines shield the
+    // next code-bearing line (so a multi-line explanatory comment works no
+    // matter which of its lines carries the marker).
+    std::size_t target_idx = i;
+    if (trim(src.code[i]).empty()) {
+      target_idx = i + 1;
+      while (target_idx < src.code.size() && trim(src.code[target_idx]).empty()) ++target_idx;
+    }
+    const int target = static_cast<int>(target_idx + 1);
+    std::stringstream list(comment.substr(open, close - open));
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      id = trim(id);
+      if (id.empty()) continue;
+      const auto& known = all_rules();
+      if (std::find(known.begin(), known.end(), id) == known.end()) {
+        sup.errors.push_back({path, static_cast<int>(i + 1), "bad-suppression",
+                              "unknown rule '" + id + "' in detlint:allow", trim(raw[i])});
+        continue;
+      }
+      sup.by_line[target].insert(id);
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engines.  Each takes the stripped code lines and appends findings.
+// ---------------------------------------------------------------------------
+
+using Sink = std::vector<Finding>;
+
+void emit(Sink& out, const std::string& path, std::size_t line_idx, const std::string& rule,
+          const std::string& message, const std::vector<std::string>& raw) {
+  out.push_back({path, static_cast<int>(line_idx + 1), rule, message,
+                 line_idx < raw.size() ? trim(raw[line_idx]) : ""});
+}
+
+void rule_wall_clock(const std::string& path, const std::vector<std::string>& code,
+                     const std::vector<std::string>& raw, Sink& out) {
+  static const std::vector<std::string> kCalls = {"gettimeofday", "clock_gettime",
+                                                  "timespec_get", "localtime", "gmtime",
+                                                  "mktime"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool hit = line.find("_clock::now") != std::string::npos ||
+               line.find("std::clock(") != std::string::npos ||
+               line.find("std::time(") != std::string::npos;
+    for (const auto& call : kCalls) {
+      if (hit) break;
+      hit = find_word(line, call) != std::string::npos;
+    }
+    if (!hit) {
+      // Bare `time(nullptr)` / `time(NULL)` / `time(0)`.
+      const std::size_t t = find_word(line, "time");
+      if (t != std::string::npos) {
+        std::size_t p = skip_ws(line, t + 4);
+        if (p < line.size() && line[p] == '(') {
+          p = skip_ws(line, p + 1);
+          hit = line.compare(p, 7, "nullptr") == 0 || line.compare(p, 4, "NULL") == 0 ||
+                (p < line.size() && line[p] == '0');
+        }
+      }
+    }
+    if (hit) {
+      emit(out, path, i, "wall-clock",
+           "wall-clock read: output would depend on real time; use the simulated clock or "
+           "plumb a timestamp in",
+           raw);
+    }
+  }
+}
+
+void rule_global_rand(const std::string& path, const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw, Sink& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool hit = has_word(line, "srand") || has_word(line, "random_device") ||
+               has_word(line, "getrandom");
+    if (!hit) {
+      const std::size_t r = find_word(line, "rand");
+      hit = r != std::string::npos && skip_ws(line, r + 4) < line.size() &&
+            line[skip_ws(line, r + 4)] == '(';
+    }
+    if (hit) {
+      emit(out, path, i, "global-rand",
+           "unseeded/global randomness: results are not reproducible from the run seed; "
+           "use a std::mt19937_64 seeded from the RunSpec",
+           raw);
+    }
+  }
+}
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> kEngines = {
+      "mt19937",      "mt19937_64",    "default_random_engine",
+      "minstd_rand",  "minstd_rand0",  "knuth_b",
+      "ranlux24",     "ranlux48",      "ranlux24_base",
+      "ranlux48_base"};
+  return kEngines;
+}
+
+/// True if `name` is seeded somewhere in the file: `name(args)` (ctor init
+/// list), `name{args}`, `name = ...`, or `name.seed(...)`.
+bool seeded_elsewhere(const std::vector<std::string>& code, const std::string& name) {
+  for (const std::string& line : code) {
+    std::size_t pos = 0;
+    while ((pos = find_word(line, name, pos)) != std::string::npos) {
+      std::size_t p = skip_ws(line, pos + name.size());
+      if (p < line.size()) {
+        if (line[p] == '=' && (p + 1 >= line.size() || line[p + 1] != '=')) return true;
+        if ((line[p] == '(' || line[p] == '{') && skip_ws(line, p + 1) < line.size() &&
+            line[skip_ws(line, p + 1)] != ')' && line[skip_ws(line, p + 1)] != '}') {
+          return true;
+        }
+        if (line.compare(p, 6, ".seed(") == 0) return true;
+      }
+      pos += name.size();
+    }
+  }
+  return false;
+}
+
+void rule_unseeded_engine(const std::string& path, const std::vector<std::string>& code,
+                          const std::vector<std::string>& raw, Sink& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (const std::string& engine : engine_names()) {
+      std::size_t pos = 0;
+      while ((pos = find_word(line, engine, pos)) != std::string::npos) {
+        std::size_t p = skip_ws(line, pos + engine.size());
+        pos += engine.size();
+        // `std::mt19937_64(...)` / `{...}` temporary: unseeded iff empty args.
+        if (p < line.size() && (line[p] == '(' || line[p] == '{')) {
+          const char close = line[p] == '(' ? ')' : '}';
+          if (skip_ws(line, p + 1) < line.size() && line[skip_ws(line, p + 1)] == close) {
+            emit(out, path, i, "unseeded-engine",
+                 "RNG engine constructed without a seed: sequence depends on the "
+                 "implementation default, not the run seed",
+                 raw);
+          }
+          continue;
+        }
+        // Declaration `mt19937_64 name;` — flag unless the name is seeded
+        // elsewhere in this file (constructor init list, assignment, .seed).
+        std::size_t q = p;
+        while (q < line.size() && is_ident(line[q])) ++q;
+        if (q == p) continue;  // template arg / nested-name use, not a decl
+        const std::string name = line.substr(p, q - p);
+        const std::size_t after = skip_ws(line, q);
+        const bool bare_decl = after < line.size() && line[after] == ';';
+        const bool empty_braces = after + 1 < line.size() && line[after] == '{' &&
+                                  line[skip_ws(line, after + 1)] == '}';
+        if ((bare_decl || empty_braces) && !seeded_elsewhere(code, name)) {
+          emit(out, path, i, "unseeded-engine",
+               "RNG engine '" + name +
+                   "' is default-constructed and never seeded in this file; seed it from "
+                   "the RunSpec so runs replay",
+               raw);
+        }
+      }
+    }
+  }
+}
+
+/// Matches `<...>` starting at the '<' at `open`; returns the index of the
+/// matching '>' or npos.  Single-line only, which covers declarations.
+std::size_t match_angle(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    else if (s[i] == '>') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+struct UnorderedDecls {
+  std::set<std::string> vars;     // variables of unordered container type
+  std::set<std::string> aliases;  // using X = std::unordered_map<...>
+};
+
+UnorderedDecls collect_unordered_decls(const std::vector<std::string>& code) {
+  static const std::vector<std::string> kTypes = {"unordered_map", "unordered_set",
+                                                  "unordered_multimap", "unordered_multiset"};
+  UnorderedDecls decls;
+  // Pass 1: aliases, so `using Index = std::unordered_map<...>; Index x;` is
+  // still tracked.
+  for (const std::string& line : code) {
+    const std::size_t u = find_word(line, "using");
+    if (u == std::string::npos) continue;
+    bool unordered = false;
+    for (const auto& t : kTypes) unordered = unordered || has_word(line, t);
+    if (!unordered) continue;
+    std::size_t p = skip_ws(line, u + 5);
+    std::size_t q = p;
+    while (q < line.size() && is_ident(line[q])) ++q;
+    if (q > p && skip_ws(line, q) < line.size() && line[skip_ws(line, q)] == '=') {
+      decls.aliases.insert(line.substr(p, q - p));
+    }
+  }
+  // Pass 2: variable declarations `unordered_map<...> name` / `Alias name`.
+  for (const std::string& line : code) {
+    std::vector<std::string> types(kTypes);
+    types.insert(types.end(), decls.aliases.begin(), decls.aliases.end());
+    for (const auto& type : types) {
+      std::size_t pos = 0;
+      while ((pos = find_word(line, type, pos)) != std::string::npos) {
+        std::size_t p = skip_ws(line, pos + type.size());
+        pos += type.size();
+        if (p < line.size() && line[p] == '<') {
+          const std::size_t close = match_angle(line, p);
+          if (close == std::string::npos) continue;
+          p = skip_ws(line, close + 1);
+        }
+        while (p < line.size() && (line[p] == '&' || line[p] == '*')) p = skip_ws(line, p + 1);
+        std::size_t q = p;
+        while (q < line.size() && is_ident(line[q])) ++q;
+        if (q > p) {
+          const std::string name = line.substr(p, q - p);
+          if (name != "const" && name != "constexpr") decls.vars.insert(name);
+        }
+      }
+    }
+  }
+  return decls;
+}
+
+void rule_unordered_iter(const std::string& path, const std::vector<std::string>& code,
+                         const std::vector<std::string>& raw, Sink& out) {
+  const UnorderedDecls decls = collect_unordered_decls(code);
+  static const std::vector<std::string> kBegin = {".begin", ".cbegin", ".rbegin", ".crbegin",
+                                                  "->begin", "->cbegin"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    // Range-for whose range expression mentions an unordered variable (the
+    // for-header may wrap, so analyze a small joined window).
+    const std::size_t f = find_word(line, "for");
+    if (f != std::string::npos) {
+      const std::string stmt = join_lines(code, i);
+      const std::size_t fs = find_word(stmt, "for", f);
+      std::size_t p = fs == std::string::npos ? std::string::npos : skip_ws(stmt, fs + 3);
+      if (p != std::string::npos && p < stmt.size() && stmt[p] == '(') {
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t k = p; k < stmt.size(); ++k) {
+          if (stmt[k] == '(') ++depth;
+          else if (stmt[k] == ')') {
+            --depth;
+            if (depth == 0) { close = k; break; }
+          } else if (stmt[k] == ':' && depth == 1 &&
+                     (k + 1 >= stmt.size() || stmt[k + 1] != ':') &&
+                     (k == 0 || stmt[k - 1] != ':')) {
+            colon = k;
+          }
+        }
+        if (colon != std::string::npos && close != std::string::npos) {
+          const std::string range = stmt.substr(colon + 1, close - colon - 1);
+          bool hit = range.find("unordered_") != std::string::npos;
+          for (const auto& name : decls.vars) hit = hit || has_word(range, name);
+          for (const auto& name : decls.aliases) hit = hit || has_word(range, name);
+          if (hit) {
+            emit(out, path, i, "unordered-iter",
+                 "iteration over an unordered container: order depends on hashing/allocation; "
+                 "iterate a sorted view before this reaches any serialized output",
+                 raw);
+          }
+        }
+      }
+    }
+    // Explicit iterators: `um.begin()` and friends.
+    for (const auto& name : decls.vars) {
+      bool hit = false;
+      std::size_t at = 0;
+      while (!hit && (at = find_word(line, name, at)) != std::string::npos) {
+        for (const auto& b : kBegin) {
+          if (line.compare(at + name.size(), b.size(), b) == 0) { hit = true; break; }
+        }
+        at += name.size();
+      }
+      if (hit) {
+        emit(out, path, i, "unordered-iter",
+             "iterator over unordered container '" + name +
+                 "': order depends on hashing/allocation",
+             raw);
+      }
+    }
+  }
+}
+
+void rule_pointer_key(const std::string& path, const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw, Sink& out) {
+  static const std::vector<std::string> kOrdered = {"map", "set", "multimap", "multiset",
+                                                    "less", "greater"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (const auto& type : kOrdered) {
+      std::size_t pos = 0;
+      while ((pos = find_word(line, type, pos)) != std::string::npos) {
+        const std::size_t open = skip_ws(line, pos + type.size());
+        pos += type.size();
+        if (open >= line.size() || line[open] != '<') continue;
+        // First top-level template argument.
+        int depth = 0;
+        std::size_t end = std::string::npos;
+        for (std::size_t k = open; k < line.size(); ++k) {
+          if (line[k] == '<' || line[k] == '(') ++depth;
+          else if (line[k] == '>' || line[k] == ')') {
+            --depth;
+            if (depth == 0) { end = k; break; }
+          } else if (line[k] == ',' && depth == 1) {
+            end = k;
+            break;
+          }
+        }
+        if (end == std::string::npos) continue;
+        const std::string key = trim(line.substr(open + 1, end - open - 1));
+        if (!key.empty() && key.back() == '*') {
+          emit(out, path, i, "pointer-key",
+               "pointer-keyed ordered container/comparator: iteration order depends on "
+               "allocation addresses (ASLR); key by a stable id, or use an unordered "
+               "container and never iterate it",
+               raw);
+        }
+      }
+    }
+  }
+}
+
+void rule_mutable_static(const std::string& path, const std::vector<std::string>& code,
+                         const std::vector<std::string>& raw, Sink& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::size_t s = find_word(code[i], "static");
+    if (s == std::string::npos) continue;
+    // Join until the statement resolves into either a declarator terminator
+    // (';'), an initializer ('='), or a body/ctor-args ('{' / '(').
+    std::string stmt = join_lines(code, i);
+    const std::size_t start = find_word(stmt, "static");
+    if (start == std::string::npos) continue;
+    stmt = stmt.substr(start + 6);
+    const std::size_t cut = stmt.find_first_of(";{");
+    if (cut != std::string::npos) stmt = stmt.substr(0, cut);
+    // Immutable or non-variable statics are fine.
+    if (has_word(stmt, "const") || has_word(stmt, "constexpr") || has_word(stmt, "class") ||
+        has_word(stmt, "struct") || has_word(stmt, "union") || has_word(stmt, "enum")) {
+      continue;
+    }
+    const std::size_t paren = stmt.find('(');
+    const std::size_t eq = stmt.find('=');
+    const bool is_function =
+        paren != std::string::npos && (eq == std::string::npos || paren < eq);
+    if (is_function) continue;
+    if (trim(stmt).empty()) continue;  // `static` alone (e.g. macro fragment)
+    emit(out, path, i, "mutable-static",
+         "mutable static/global state: shared across runs and threads, so results can "
+         "depend on execution history or interleaving; make it const/constexpr or pass "
+         "state explicitly",
+         raw);
+  }
+}
+
+void rule_thread_spawn(const std::string& path, const std::vector<std::string>& code,
+                       const std::vector<std::string>& raw, Sink& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool hit = line.find("std::async") != std::string::npos ||
+               line.find("std::jthread") != std::string::npos ||
+               line.find(".detach(") != std::string::npos ||
+               has_word(line, "pthread_create");
+    if (!hit) {
+      std::size_t pos = 0;
+      while ((pos = line.find("std::thread", pos)) != std::string::npos) {
+        const std::size_t after = pos + 11;
+        // `std::thread::hardware_concurrency` is a pure query, not a spawn.
+        if (line.compare(after, 2, "::") != 0 &&
+            (after >= line.size() || !is_ident(line[after]))) {
+          hit = true;
+          break;
+        }
+        pos = after;
+      }
+    }
+    if (hit) {
+      emit(out, path, i, "thread-spawn",
+           "thread creation outside the campaign executor: parallelism must stay behind "
+           "the executor's index-keyed result slots to keep output order-independent",
+           raw);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "wall-clock",     "global-rand", "unseeded-engine", "unordered-iter",
+      "pointer-key",    "mutable-static", "thread-spawn", "bad-suppression"};
+  return kRules;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == "wall-clock") return "wall-clock reads (std::chrono::*_clock::now, time(), ...)";
+  if (rule == "global-rand") return "unseeded/global randomness (rand, srand, random_device)";
+  if (rule == "unseeded-engine") return "RNG engines constructed without an explicit seed";
+  if (rule == "unordered-iter") return "iteration over std::unordered_{map,set} (hash order)";
+  if (rule == "pointer-key") return "pointer-keyed ordered containers or comparators";
+  if (rule == "mutable-static") return "mutable static/global state";
+  if (rule == "thread-spawn") return "std::thread/std::async/detach outside the executor";
+  if (rule == "bad-suppression") return "malformed or unknown detlint:allow(...) markers";
+  return "";
+}
+
+bool Config::rule_enabled(const std::string& rule, const std::string& path) const {
+  const auto it = rules.find(rule);
+  if (it == rules.end()) return true;
+  if (!it->second.enabled) return false;
+  for (const auto& pattern : it->second.allow_paths) {
+    if (glob_match(pattern, path)) return false;
+  }
+  return true;
+}
+
+std::vector<Finding> scan_source(const std::string& path, const std::string& text,
+                                 const Config& config) {
+  const std::vector<std::string> raw = split_lines(text);
+  const StrippedSource src = strip_comments_and_strings(raw);
+  const std::vector<std::string>& code = src.code;
+  const Suppressions sup = collect_suppressions(path, raw, src);
+
+  std::vector<Finding> found;
+  rule_wall_clock(path, code, raw, found);
+  rule_global_rand(path, code, raw, found);
+  rule_unseeded_engine(path, code, raw, found);
+  rule_unordered_iter(path, code, raw, found);
+  rule_pointer_key(path, code, raw, found);
+  rule_mutable_static(path, code, raw, found);
+  rule_thread_spawn(path, code, raw, found);
+  for (const Finding& e : sup.errors) {
+    if (config.rule_enabled(e.rule, path)) found.push_back(e);
+  }
+
+  std::vector<Finding> kept;
+  for (Finding& f : found) {
+    if (!config.rule_enabled(f.rule, path)) continue;
+    if (sup.covers(f.line, f.rule)) continue;
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  // A line can legitimately trip one rule twice (two bad declarations); a
+  // duplicate of the same (line, rule) adds noise, not information.
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.line == b.line && a.rule == b.rule;
+                         }),
+             kept.end());
+  return kept;
+}
+
+std::vector<Finding> scan_tree(const std::filesystem::path& root, const Config& config,
+                               const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+
+  const auto eligible = [&config](const std::string& rel) {
+    const std::string ext = fs::path(rel).extension().string();
+    if (std::find(config.extensions.begin(), config.extensions.end(), ext) ==
+        config.extensions.end()) {
+      return false;
+    }
+    for (const auto& pattern : config.exclude) {
+      if (glob_match(pattern, rel)) return false;
+    }
+    return true;
+  };
+
+  std::vector<std::string> files;
+  const std::vector<std::string>& targets = paths.empty() ? config.roots : paths;
+  for (const std::string& target : targets) {
+    const fs::path abs = root / target;
+    if (fs::is_regular_file(abs)) {
+      files.push_back(fs::path(target).generic_string());
+    } else if (fs::is_directory(abs)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string rel = fs::relative(entry.path(), root).generic_string();
+        if (eligible(rel)) files.push_back(rel);
+      }
+    } else {
+      throw std::runtime_error("detlint: no such file or directory: " + abs.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) throw std::runtime_error("detlint: cannot read " + rel);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Finding> file_findings = scan_source(rel, text.str(), config);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace detlint
