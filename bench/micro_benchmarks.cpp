@@ -119,8 +119,12 @@ BENCHMARK(BM_ClockSync)->Arg(4)->Arg(16)->Arg(64);
 // Appended microbenchmarks: the Construction 1 validator, the
 // non-deterministic checker, and the composite (multi-object) runtime.
 
+#include "adt/counter_type.hpp"
 #include "adt/pool_type.hpp"
 #include "adt/register_type.hpp"
+#include "adt/set_type.hpp"
+#include "adt/stack_type.hpp"
+#include "adt/tree_type.hpp"
 #include "core/composite.hpp"
 #include "core/construction.hpp"
 #include "lin/nondet_checker.hpp"
@@ -170,6 +174,65 @@ void BM_NondetChecker(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NondetChecker);
+
+/// Checker throughput per data type: ops/sec and nodes/sec over a fixed
+/// Algorithm-1-generated history.  Run by the CI smoke job as
+///   micro_benchmarks --benchmark_filter='BM_CheckerThroughput'
+///                    --benchmark_out=BENCH_checker.json
+///                    --benchmark_out_format=json
+/// so before/after numbers for the memoized search land in BENCH_checker.json.
+template <class TypeT>
+void checker_throughput(benchmark::State& state, int ops_per_proc, unsigned script_seed) {
+  const TypeT type;
+  harness::RunSpec spec;
+  spec.params = params_for(4);
+  spec.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 5);
+  spec.scripts = harness::random_scripts(type, 4, ops_per_proc, script_seed);
+  const auto record = harness::execute(type, spec).record;
+  std::int64_t ops = 0;
+  std::int64_t nodes = 0;
+  for (auto _ : state) {
+    const auto check = lintime::lin::check_linearizability(type, record);
+    benchmark::DoNotOptimize(check.linearizable);
+    ops += static_cast<std::int64_t>(record.ops.size());
+    nodes += static_cast<std::int64_t>(check.nodes_expanded);
+  }
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["nodes_per_sec"] =
+      benchmark::Counter(static_cast<double>(nodes), benchmark::Counter::kIsRate);
+  state.SetLabel(type.name() + ", " + std::to_string(record.ops.size()) + " ops");
+}
+
+void BM_CheckerThroughput_Queue(benchmark::State& state) {
+  checker_throughput<lintime::adt::QueueType>(state, 10, 11);
+}
+BENCHMARK(BM_CheckerThroughput_Queue);
+
+void BM_CheckerThroughput_Stack(benchmark::State& state) {
+  checker_throughput<lintime::adt::StackType>(state, 10, 17);
+}
+BENCHMARK(BM_CheckerThroughput_Stack);
+
+void BM_CheckerThroughput_Register(benchmark::State& state) {
+  checker_throughput<lintime::adt::RegisterType>(state, 12, 19);
+}
+BENCHMARK(BM_CheckerThroughput_Register);
+
+void BM_CheckerThroughput_Set(benchmark::State& state) {
+  checker_throughput<lintime::adt::SetType>(state, 10, 23);
+}
+BENCHMARK(BM_CheckerThroughput_Set);
+
+void BM_CheckerThroughput_Counter(benchmark::State& state) {
+  checker_throughput<lintime::adt::CounterType>(state, 12, 29);
+}
+BENCHMARK(BM_CheckerThroughput_Counter);
+
+void BM_CheckerThroughput_Tree(benchmark::State& state) {
+  checker_throughput<lintime::adt::TreeType>(state, 8, 31);
+}
+BENCHMARK(BM_CheckerThroughput_Tree);
 
 void BM_CompositeTwoObjects(benchmark::State& state) {
   lintime::adt::QueueType queue;

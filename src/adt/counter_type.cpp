@@ -8,23 +8,50 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t { kIncIdx = 0, kReadIdx = 1, kFetchIncIdx = 2 };
+
+const OpTable& counter_table() {
+  static const OpTable kTable{{
+      {CounterType::kInc, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {CounterType::kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {CounterType::kFetchInc, OpCategory::kMixed, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 7;
+
 class CounterState final : public StateBase<CounterState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == CounterType::kInc) {
-      value_ += arg.as_int();
-      return Value::nil();
+    const OpId id = counter_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("counter: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kIncIdx:
+        value_ += arg.as_int();
+        return Value::nil();
+      case kReadIdx:
+        return Value{value_};
+      case kFetchIncIdx: {
+        const std::int64_t old = value_;
+        ++value_;
+        return Value{old};
+      }
+      default:
+        throw std::invalid_argument("counter: unknown op id");
     }
-    if (op == CounterType::kRead) return Value{value_};
-    if (op == CounterType::kFetchInc) {
-      const std::int64_t old = value_;
-      ++value_;
-      return Value{old};
-    }
-    throw std::invalid_argument("counter: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override { return "ctr:" + std::to_string(value_); }
+
+  void fingerprint_into(FpHasher& h) const override {
+    h.mix(kFpTag);
+    h.mix_int(value_);
+  }
 
  private:
   std::int64_t value_ = 0;
@@ -32,14 +59,9 @@ class CounterState final : public StateBase<CounterState> {
 
 }  // namespace
 
-const std::vector<OpSpec>& CounterType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kInc, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
-      {kFetchInc, OpCategory::kMixed, /*takes_arg=*/false},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& CounterType::ops() const { return counter_table().specs(); }
+
+const OpTable& CounterType::table() const { return counter_table(); }
 
 std::unique_ptr<ObjectState> CounterType::make_initial_state() const {
   return std::make_unique<CounterState>();

@@ -20,6 +20,7 @@ class CounterType final : public DataType {
  public:
   [[nodiscard]] std::string name() const override { return "counter"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kInc = "inc";

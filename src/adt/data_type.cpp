@@ -14,6 +14,21 @@ std::string to_string(const Sequence& seq) {
   return os.str();
 }
 
+Value ObjectState::apply(OpId id, const Value& arg) {
+  if (table_ == nullptr) {
+    throw std::logic_error(
+        "ObjectState::apply(OpId): no OpTable bound; obtain states via "
+        "DataType::initial_state()");
+  }
+  return apply(table_->name_of(id), arg);
+}
+
+void ObjectState::fingerprint_into(FpHasher& h) const { h.mix_bytes(canonical()); }
+
+void ObjectState::assign_from(const ObjectState& /*other*/) {
+  throw std::logic_error("ObjectState::assign_from: state does not support assignment");
+}
+
 std::vector<Value> DataType::sample_args(const std::string& op) const {
   if (!spec(op).takes_arg) return {Value::nil()};
   // Four distinct arguments so the classifier can witness k-wise
@@ -21,11 +36,23 @@ std::vector<Value> DataType::sample_args(const std::string& op) const {
   return {Value{1}, Value{2}, Value{3}, Value{4}};
 }
 
-const OpSpec& DataType::spec(const std::string& op) const {
-  for (const auto& s : ops()) {
-    if (s.name == op) return s;
+const OpTable& DataType::table() const {
+  std::call_once(table_once_, [this] { table_cache_ = std::make_unique<OpTable>(ops()); });
+  return *table_cache_;
+}
+
+OpId DataType::op_id(const std::string& op) const {
+  const OpId id = table().find(op);
+  if (!id.valid()) {
+    throw std::invalid_argument("unknown operation '" + op + "' on type " + name());
   }
-  throw std::invalid_argument("unknown operation '" + op + "' on type " + name());
+  return id;
+}
+
+std::unique_ptr<ObjectState> DataType::initial_state() const {
+  auto state = make_initial_state();
+  state->bind_table(&table());
+  return state;
 }
 
 std::vector<std::string> DataType::ops_in_category(OpCategory c) const {
@@ -37,7 +64,7 @@ std::vector<std::string> DataType::ops_in_category(OpCategory c) const {
 }
 
 std::unique_ptr<ObjectState> run_sequence(const DataType& type, const Sequence& seq) {
-  auto state = type.make_initial_state();
+  auto state = type.initial_state();
   for (const auto& inst : seq) {
     if (state->apply(inst.op, inst.arg) != inst.ret) return nullptr;
   }

@@ -9,36 +9,64 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t {
+  kPushFrontIdx = 0,
+  kPushBackIdx = 1,
+  kPopFrontIdx = 2,
+  kPopBackIdx = 3,
+  kFrontIdx = 4,
+  kBackIdx = 5,
+};
+
+const OpTable& deque_table() {
+  static const OpTable kTable{{
+      {DequeType::kPushFront, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {DequeType::kPushBack, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {DequeType::kPopFront, OpCategory::kMixed, /*takes_arg=*/false},
+      {DequeType::kPopBack, OpCategory::kMixed, /*takes_arg=*/false},
+      {DequeType::kFront, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {DequeType::kBack, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 9;
+
 class DequeState final : public StateBase<DequeState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == DequeType::kPushFront) {
-      items_.push_front(arg.as_int());
-      return Value::nil();
+    const OpId id = deque_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("deque: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kPushFrontIdx:
+        items_.push_front(arg.as_int());
+        return Value::nil();
+      case kPushBackIdx:
+        items_.push_back(arg.as_int());
+        return Value::nil();
+      case kPopFrontIdx: {
+        if (items_.empty()) return Value::nil();
+        const std::int64_t v = items_.front();
+        items_.pop_front();
+        return Value{v};
+      }
+      case kPopBackIdx: {
+        if (items_.empty()) return Value::nil();
+        const std::int64_t v = items_.back();
+        items_.pop_back();
+        return Value{v};
+      }
+      case kFrontIdx:
+        return items_.empty() ? Value::nil() : Value{items_.front()};
+      case kBackIdx:
+        return items_.empty() ? Value::nil() : Value{items_.back()};
+      default:
+        throw std::invalid_argument("deque: unknown op id");
     }
-    if (op == DequeType::kPushBack) {
-      items_.push_back(arg.as_int());
-      return Value::nil();
-    }
-    if (op == DequeType::kPopFront) {
-      if (items_.empty()) return Value::nil();
-      const std::int64_t v = items_.front();
-      items_.pop_front();
-      return Value{v};
-    }
-    if (op == DequeType::kPopBack) {
-      if (items_.empty()) return Value::nil();
-      const std::int64_t v = items_.back();
-      items_.pop_back();
-      return Value{v};
-    }
-    if (op == DequeType::kFront) {
-      return items_.empty() ? Value::nil() : Value{items_.front()};
-    }
-    if (op == DequeType::kBack) {
-      return items_.empty() ? Value::nil() : Value{items_.back()};
-    }
-    throw std::invalid_argument("deque: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -48,23 +76,21 @@ class DequeState final : public StateBase<DequeState> {
     return os.str();
   }
 
+  void fingerprint_into(FpHasher& h) const override {
+    h.mix(kFpTag);
+    h.mix(items_.size());
+    for (const auto v : items_) h.mix_int(v);
+  }
+
  private:
   std::deque<std::int64_t> items_;
 };
 
 }  // namespace
 
-const std::vector<OpSpec>& DequeType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kPushFront, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kPushBack, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kPopFront, OpCategory::kMixed, /*takes_arg=*/false},
-      {kPopBack, OpCategory::kMixed, /*takes_arg=*/false},
-      {kFront, OpCategory::kPureAccessor, /*takes_arg=*/false},
-      {kBack, OpCategory::kPureAccessor, /*takes_arg=*/false},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& DequeType::ops() const { return deque_table().specs(); }
+
+const OpTable& DequeType::table() const { return deque_table(); }
 
 std::unique_ptr<ObjectState> DequeType::make_initial_state() const {
   return std::make_unique<DequeState>();

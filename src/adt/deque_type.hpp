@@ -23,6 +23,7 @@ class DequeType final : public DataType {
  public:
   [[nodiscard]] std::string name() const override { return "deque"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kPushFront = "push_front";

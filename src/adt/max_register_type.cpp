@@ -9,21 +9,47 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t { kWriteMaxIdx = 0, kReadIdx = 1 };
+
+const OpTable& max_register_table() {
+  static const OpTable kTable{{
+      {MaxRegisterType::kWriteMax, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {MaxRegisterType::kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 8;
+
 class MaxRegisterState final : public StateBase<MaxRegisterState> {
  public:
   explicit MaxRegisterState(std::int64_t v) : value_(v) {}
 
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == MaxRegisterType::kWriteMax) {
-      value_ = std::max(value_, arg.as_int());
-      return Value::nil();
+    const OpId id = max_register_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("max_register: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kWriteMaxIdx:
+        value_ = std::max(value_, arg.as_int());
+        return Value::nil();
+      case kReadIdx:
+        return Value{value_};
+      default:
+        throw std::invalid_argument("max_register: unknown op id");
     }
-    if (op == MaxRegisterType::kRead) return Value{value_};
-    throw std::invalid_argument("max_register: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override {
     return "maxreg:" + std::to_string(value_);
+  }
+
+  void fingerprint_into(FpHasher& h) const override {
+    h.mix(kFpTag);
+    h.mix_int(value_);
   }
 
  private:
@@ -32,13 +58,9 @@ class MaxRegisterState final : public StateBase<MaxRegisterState> {
 
 }  // namespace
 
-const std::vector<OpSpec>& MaxRegisterType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kWriteMax, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& MaxRegisterType::ops() const { return max_register_table().specs(); }
+
+const OpTable& MaxRegisterType::table() const { return max_register_table(); }
 
 std::unique_ptr<ObjectState> MaxRegisterType::make_initial_state() const {
   return std::make_unique<MaxRegisterState>(initial_);

@@ -25,6 +25,7 @@ class MaxRegisterType final : public DataType {
 
   [[nodiscard]] std::string name() const override { return "max_register"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kWriteMax = "write_max";

@@ -1,8 +1,10 @@
 #pragma once
-// Operation metadata: names, declared classification, and operation
-// instances (invocation + response pairs) as defined in Section 2.1 of the
-// paper.
+// Operation metadata: names, declared classification, interned operation
+// identities, and operation instances (invocation + response pairs) as
+// defined in Section 2.1 of the paper.
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +12,31 @@
 #include "adt/value.hpp"
 
 namespace lintime::adt {
+
+/// Interned identity of one operation of one data type: its position in the
+/// type's OpTable (== its index in DataType::ops()).  Resolved from the
+/// operation name once, at the edge of a computation, so hot paths (the
+/// simulator kernel, Algorithm 1's replicas, the linearizability checkers)
+/// dispatch and compare on a 32-bit integer instead of a std::string.
+///
+/// An OpId is only meaningful relative to the DataType that issued it; the
+/// default-constructed id is invalid ("not resolved").
+class OpId {
+ public:
+  constexpr OpId() = default;
+  constexpr explicit OpId(std::uint32_t index) : index_(index) {}
+
+  [[nodiscard]] constexpr std::uint32_t index() const { return index_; }
+  [[nodiscard]] constexpr bool valid() const { return index_ != kInvalid; }
+
+  friend constexpr bool operator==(OpId a, OpId b) { return a.index_ == b.index_; }
+  friend constexpr bool operator!=(OpId a, OpId b) { return a.index_ != b.index_; }
+  friend constexpr bool operator<(OpId a, OpId b) { return a.index_ < b.index_; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffU;
+  std::uint32_t index_ = kInvalid;
+};
 
 /// The coarse classification used by Algorithm 1 (Section 5.1): every
 /// operation of every type is a pure accessor (AOP), a pure mutator (MOP) or
@@ -62,3 +89,8 @@ using Sequence = std::vector<Instance>;
 [[nodiscard]] std::string to_string(const Sequence& seq);
 
 }  // namespace lintime::adt
+
+template <>
+struct std::hash<lintime::adt::OpId> {
+  std::size_t operator()(lintime::adt::OpId id) const noexcept { return id.index(); }
+};

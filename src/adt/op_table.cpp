@@ -1,0 +1,45 @@
+#include "adt/op_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lintime::adt {
+
+OpTable::OpTable(std::vector<OpSpec> specs) : specs_(std::move(specs)) {
+  by_name_.resize(specs_.size());
+  for (std::uint32_t i = 0; i < specs_.size(); ++i) by_name_[i] = i;
+  std::sort(by_name_.begin(), by_name_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return specs_[a].name < specs_[b].name;
+  });
+  for (std::size_t k = 1; k < by_name_.size(); ++k) {
+    if (specs_[by_name_[k - 1]].name == specs_[by_name_[k]].name) {
+      throw std::invalid_argument("OpTable: duplicate operation name '" +
+                                  specs_[by_name_[k]].name + "'");
+    }
+  }
+}
+
+OpId OpTable::find(std::string_view name) const {
+  auto lo = by_name_.begin();
+  auto hi = by_name_.end();
+  while (lo != hi) {
+    const auto mid = lo + (hi - lo) / 2;
+    const std::string& candidate = specs_[*mid].name;
+    if (candidate == name) return OpId{*mid};
+    if (candidate < name) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return OpId{};
+}
+
+const OpSpec& OpTable::spec(OpId id) const {
+  if (!id.valid() || id.index() >= specs_.size()) {
+    throw std::out_of_range("OpTable: id out of range");
+  }
+  return specs_[id.index()];
+}
+
+}  // namespace lintime::adt

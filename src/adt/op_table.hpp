@@ -1,0 +1,41 @@
+#pragma once
+// OpTable: the interning table behind adt::OpId.  One table per data type,
+// built once from the type's OpSpec list; every name -> id resolution after
+// that is a binary search over a handful of entries, and every id -> spec
+// lookup is a vector index.  Tables are immutable after construction and
+// contain no addresses or other run-varying data, so resolution order and
+// results are fully deterministic.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "adt/op.hpp"
+
+namespace lintime::adt {
+
+class OpTable {
+ public:
+  OpTable() = default;
+
+  /// Builds the table; throws std::invalid_argument on duplicate names.
+  explicit OpTable(std::vector<OpSpec> specs);
+
+  [[nodiscard]] const std::vector<OpSpec>& specs() const { return specs_; }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// Resolves a name; returns the invalid OpId when unknown.
+  [[nodiscard]] OpId find(std::string_view name) const;
+
+  /// Spec of a resolved id; throws std::out_of_range on an invalid or
+  /// foreign id.
+  [[nodiscard]] const OpSpec& spec(OpId id) const;
+
+  [[nodiscard]] const std::string& name_of(OpId id) const { return spec(id).name; }
+
+ private:
+  std::vector<OpSpec> specs_;
+  std::vector<std::uint32_t> by_name_;  ///< spec indices, sorted by name
+};
+
+}  // namespace lintime::adt

@@ -9,29 +9,50 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t { kPutIdx = 0, kTakeIdx = 1, kSizeIdx = 2 };
+
+const OpTable& pool_table() {
+  static const OpTable kTable{{
+      {PoolType::kPut, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {PoolType::kTake, OpCategory::kMixed, /*takes_arg=*/false},
+      {PoolType::kSize, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 10;
+
 /// Multiset of int64 values.  Shared by the deterministic type and the
 /// non-deterministic spec (whose outcomes clone and mutate it).
 class PoolState final : public StateBase<PoolState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == PoolType::kPut) {
-      ++items_[arg.as_int()];
-      return Value::nil();
+    const OpId id = pool_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("pool: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kPutIdx:
+        ++items_[arg.as_int()];
+        return Value::nil();
+      case kTakeIdx: {
+        if (items_.empty()) return Value::nil();
+        // Deterministic resolution: remove the smallest element.
+        const auto it = items_.begin();
+        const std::int64_t v = it->first;
+        remove(v);
+        return Value{v};
+      }
+      case kSizeIdx: {
+        std::int64_t total = 0;
+        for (const auto& [v, count] : items_) total += count;
+        return Value{total};
+      }
+      default:
+        throw std::invalid_argument("pool: unknown op id");
     }
-    if (op == PoolType::kTake) {
-      if (items_.empty()) return Value::nil();
-      // Deterministic resolution: remove the smallest element.
-      const auto it = items_.begin();
-      const std::int64_t v = it->first;
-      remove(v);
-      return Value{v};
-    }
-    if (op == PoolType::kSize) {
-      std::int64_t total = 0;
-      for (const auto& [v, count] : items_) total += count;
-      return Value{total};
-    }
-    throw std::invalid_argument("pool: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -39,6 +60,16 @@ class PoolState final : public StateBase<PoolState> {
     os << "pool:";
     for (const auto& [v, count] : items_) os << v << 'x' << count << ',';
     return os.str();
+  }
+
+  void fingerprint_into(FpHasher& h) const override {
+    // std::map iterates in value order -- deterministic, matching canonical().
+    h.mix(kFpTag);
+    h.mix(items_.size());
+    for (const auto& [v, count] : items_) {
+      h.mix_int(v);
+      h.mix_int(count);
+    }
   }
 
   [[nodiscard]] const std::map<std::int64_t, int>& items() const { return items_; }
@@ -53,24 +84,17 @@ class PoolState final : public StateBase<PoolState> {
   std::map<std::int64_t, int> items_;  // value -> multiplicity
 };
 
-const std::vector<OpSpec>& pool_ops() {
-  static const std::vector<OpSpec> kOps = {
-      {PoolType::kPut, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {PoolType::kTake, OpCategory::kMixed, /*takes_arg=*/false},
-      {PoolType::kSize, OpCategory::kPureAccessor, /*takes_arg=*/false},
-  };
-  return kOps;
-}
-
 }  // namespace
 
-const std::vector<OpSpec>& PoolType::ops() const { return pool_ops(); }
+const std::vector<OpSpec>& PoolType::ops() const { return pool_table().specs(); }
+
+const OpTable& PoolType::table() const { return pool_table(); }
 
 std::unique_ptr<ObjectState> PoolType::make_initial_state() const {
   return std::make_unique<PoolState>();
 }
 
-const std::vector<OpSpec>& PoolNondetSpec::ops() const { return pool_ops(); }
+const std::vector<OpSpec>& PoolNondetSpec::ops() const { return pool_table().specs(); }
 
 std::unique_ptr<ObjectState> PoolNondetSpec::make_initial_state() const {
   return std::make_unique<PoolState>();

@@ -29,6 +29,7 @@ class PoolType final : public DataType {
  public:
   [[nodiscard]] std::string name() const override { return "pool"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kPut = "put";

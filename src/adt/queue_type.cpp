@@ -9,24 +9,45 @@ namespace lintime::adt {
 
 namespace {
 
+// OpId indices into the table below; keep in sync with the spec order.
+enum : std::uint32_t { kEnqueueIdx = 0, kDequeueIdx = 1, kPeekIdx = 2 };
+
+const OpTable& queue_table() {
+  static const OpTable kTable{{
+      {QueueType::kEnqueue, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {QueueType::kDequeue, OpCategory::kMixed, /*takes_arg=*/false},
+      {QueueType::kPeek, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 3;  // distinct per shipped type
+
 class QueueState final : public StateBase<QueueState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == QueueType::kEnqueue) {
-      items_.push_back(arg.as_int());
-      return Value::nil();
+    const OpId id = queue_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("queue: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kEnqueueIdx:
+        items_.push_back(arg.as_int());
+        return Value::nil();
+      case kDequeueIdx: {
+        if (items_.empty()) return Value::nil();
+        const std::int64_t head = items_.front();
+        items_.pop_front();
+        return Value{head};
+      }
+      case kPeekIdx:
+        if (items_.empty()) return Value::nil();
+        return Value{items_.front()};
+      default:
+        throw std::invalid_argument("queue: unknown op id");
     }
-    if (op == QueueType::kDequeue) {
-      if (items_.empty()) return Value::nil();
-      const std::int64_t head = items_.front();
-      items_.pop_front();
-      return Value{head};
-    }
-    if (op == QueueType::kPeek) {
-      if (items_.empty()) return Value::nil();
-      return Value{items_.front()};
-    }
-    throw std::invalid_argument("queue: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -36,20 +57,21 @@ class QueueState final : public StateBase<QueueState> {
     return os.str();
   }
 
+  void fingerprint_into(FpHasher& h) const override {
+    h.mix(kFpTag);
+    h.mix(items_.size());
+    for (const auto v : items_) h.mix_int(v);
+  }
+
  private:
   std::deque<std::int64_t> items_;
 };
 
 }  // namespace
 
-const std::vector<OpSpec>& QueueType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kEnqueue, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kDequeue, OpCategory::kMixed, /*takes_arg=*/false},
-      {kPeek, OpCategory::kPureAccessor, /*takes_arg=*/false},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& QueueType::ops() const { return queue_table().specs(); }
+
+const OpTable& QueueType::table() const { return queue_table(); }
 
 std::unique_ptr<ObjectState> QueueType::make_initial_state() const {
   return std::make_unique<QueueState>();

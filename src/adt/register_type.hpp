@@ -21,6 +21,7 @@ class RegisterType final : public DataType {
 
   [[nodiscard]] std::string name() const override { return "register"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kRead = "read";

@@ -8,30 +8,58 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t { kReadIdx = 0, kWriteIdx = 1, kFetchAddIdx = 2, kSwapIdx = 3 };
+
+const OpTable& rmw_table() {
+  static const OpTable kTable{{
+      {RmwRegisterType::kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {RmwRegisterType::kWrite, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {RmwRegisterType::kFetchAdd, OpCategory::kMixed, /*takes_arg=*/true},
+      {RmwRegisterType::kSwap, OpCategory::kMixed, /*takes_arg=*/true},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 2;
+
 class RmwRegisterState final : public StateBase<RmwRegisterState> {
  public:
   explicit RmwRegisterState(std::int64_t v) : value_(v) {}
 
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == RmwRegisterType::kRead) return Value{value_};
-    if (op == RmwRegisterType::kWrite) {
-      value_ = arg.as_int();
-      return Value::nil();
+    const OpId id = rmw_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("rmw_register: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kReadIdx:
+        return Value{value_};
+      case kWriteIdx:
+        value_ = arg.as_int();
+        return Value::nil();
+      case kFetchAddIdx: {
+        const std::int64_t old = value_;
+        value_ += arg.as_int();
+        return Value{old};
+      }
+      case kSwapIdx: {
+        const std::int64_t old = value_;
+        value_ = arg.as_int();
+        return Value{old};
+      }
+      default:
+        throw std::invalid_argument("rmw_register: unknown op id");
     }
-    if (op == RmwRegisterType::kFetchAdd) {
-      const std::int64_t old = value_;
-      value_ += arg.as_int();
-      return Value{old};
-    }
-    if (op == RmwRegisterType::kSwap) {
-      const std::int64_t old = value_;
-      value_ = arg.as_int();
-      return Value{old};
-    }
-    throw std::invalid_argument("rmw_register: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override { return "rmw:" + std::to_string(value_); }
+
+  void fingerprint_into(FpHasher& h) const override {
+    h.mix(kFpTag);
+    h.mix_int(value_);
+  }
 
  private:
   std::int64_t value_;
@@ -39,15 +67,9 @@ class RmwRegisterState final : public StateBase<RmwRegisterState> {
 
 }  // namespace
 
-const std::vector<OpSpec>& RmwRegisterType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kRead, OpCategory::kPureAccessor, /*takes_arg=*/false},
-      {kWrite, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kFetchAdd, OpCategory::kMixed, /*takes_arg=*/true},
-      {kSwap, OpCategory::kMixed, /*takes_arg=*/true},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& RmwRegisterType::ops() const { return rmw_table().specs(); }
+
+const OpTable& RmwRegisterType::table() const { return rmw_table(); }
 
 std::unique_ptr<ObjectState> RmwRegisterType::make_initial_state() const {
   return std::make_unique<RmwRegisterState>(initial_);

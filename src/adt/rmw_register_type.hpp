@@ -26,6 +26,7 @@ class RmwRegisterType final : public DataType {
 
   [[nodiscard]] std::string name() const override { return "rmw_register"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kRead = "read";

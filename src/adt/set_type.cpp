@@ -9,29 +9,55 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t {
+  kAddIdx = 0,
+  kEraseIdx = 1,
+  kContainsIdx = 2,
+  kSizeIdx = 3,
+  kAddIfAbsentIdx = 4,
+};
+
+const OpTable& set_table() {
+  static const OpTable kTable{{
+      {SetType::kAdd, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {SetType::kErase, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {SetType::kContains, OpCategory::kPureAccessor, /*takes_arg=*/true},
+      {SetType::kSize, OpCategory::kPureAccessor, /*takes_arg=*/false},
+      {SetType::kAddIfAbsent, OpCategory::kMixed, /*takes_arg=*/true},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 6;
+
 class SetState final : public StateBase<SetState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == SetType::kAdd) {
-      items_.insert(arg.as_int());
-      return Value::nil();
+    const OpId id = set_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("set: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kAddIdx:
+        items_.insert(arg.as_int());
+        return Value::nil();
+      case kEraseIdx:
+        items_.erase(arg.as_int());
+        return Value::nil();
+      case kContainsIdx:
+        return Value{items_.contains(arg.as_int()) ? 1 : 0};
+      case kSizeIdx:
+        return Value{static_cast<std::int64_t>(items_.size())};
+      case kAddIfAbsentIdx: {
+        const auto [it, inserted] = items_.insert(arg.as_int());
+        (void)it;
+        return Value{inserted ? 1 : 0};
+      }
+      default:
+        throw std::invalid_argument("set: unknown op id");
     }
-    if (op == SetType::kErase) {
-      items_.erase(arg.as_int());
-      return Value::nil();
-    }
-    if (op == SetType::kContains) {
-      return Value{items_.contains(arg.as_int()) ? 1 : 0};
-    }
-    if (op == SetType::kSize) {
-      return Value{static_cast<std::int64_t>(items_.size())};
-    }
-    if (op == SetType::kAddIfAbsent) {
-      const auto [it, inserted] = items_.insert(arg.as_int());
-      (void)it;
-      return Value{inserted ? 1 : 0};
-    }
-    throw std::invalid_argument("set: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -41,22 +67,22 @@ class SetState final : public StateBase<SetState> {
     return os.str();
   }
 
+  void fingerprint_into(FpHasher& h) const override {
+    // std::set iterates in value order -- deterministic, matching canonical().
+    h.mix(kFpTag);
+    h.mix(items_.size());
+    for (const auto v : items_) h.mix_int(v);
+  }
+
  private:
   std::set<std::int64_t> items_;
 };
 
 }  // namespace
 
-const std::vector<OpSpec>& SetType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kAdd, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kErase, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kContains, OpCategory::kPureAccessor, /*takes_arg=*/true},
-      {kSize, OpCategory::kPureAccessor, /*takes_arg=*/false},
-      {kAddIfAbsent, OpCategory::kMixed, /*takes_arg=*/true},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& SetType::ops() const { return set_table().specs(); }
+
+const OpTable& SetType::table() const { return set_table(); }
 
 std::unique_ptr<ObjectState> SetType::make_initial_state() const {
   return std::make_unique<SetState>();

@@ -24,6 +24,7 @@ class SetType final : public DataType {
  public:
   [[nodiscard]] std::string name() const override { return "set"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
 
   static constexpr const char* kAdd = "add";

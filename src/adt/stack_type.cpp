@@ -9,24 +9,44 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t { kPushIdx = 0, kPopIdx = 1, kPeekIdx = 2 };
+
+const OpTable& stack_table() {
+  static const OpTable kTable{{
+      {StackType::kPush, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {StackType::kPop, OpCategory::kMixed, /*takes_arg=*/false},
+      {StackType::kPeek, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 4;
+
 class StackState final : public StateBase<StackState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == StackType::kPush) {
-      items_.push_back(arg.as_int());
-      return Value::nil();
+    const OpId id = stack_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("stack: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kPushIdx:
+        items_.push_back(arg.as_int());
+        return Value::nil();
+      case kPopIdx: {
+        if (items_.empty()) return Value::nil();
+        const std::int64_t top = items_.back();
+        items_.pop_back();
+        return Value{top};
+      }
+      case kPeekIdx:
+        if (items_.empty()) return Value::nil();
+        return Value{items_.back()};
+      default:
+        throw std::invalid_argument("stack: unknown op id");
     }
-    if (op == StackType::kPop) {
-      if (items_.empty()) return Value::nil();
-      const std::int64_t top = items_.back();
-      items_.pop_back();
-      return Value{top};
-    }
-    if (op == StackType::kPeek) {
-      if (items_.empty()) return Value::nil();
-      return Value{items_.back()};
-    }
-    throw std::invalid_argument("stack: unknown op " + op);
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -36,20 +56,21 @@ class StackState final : public StateBase<StackState> {
     return os.str();
   }
 
+  void fingerprint_into(FpHasher& h) const override {
+    h.mix(kFpTag);
+    h.mix(items_.size());
+    for (const auto v : items_) h.mix_int(v);
+  }
+
  private:
   std::vector<std::int64_t> items_;
 };
 
 }  // namespace
 
-const std::vector<OpSpec>& StackType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kPush, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kPop, OpCategory::kMixed, /*takes_arg=*/false},
-      {kPeek, OpCategory::kPureAccessor, /*takes_arg=*/false},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& StackType::ops() const { return stack_table().specs(); }
+
+const OpTable& StackType::table() const { return stack_table(); }
 
 std::unique_ptr<ObjectState> StackType::make_initial_state() const {
   return std::make_unique<StackState>();

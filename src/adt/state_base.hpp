@@ -1,6 +1,8 @@
 #pragma once
-// CRTP helper providing ObjectState::clone via the copy constructor, so each
-// concrete state only implements apply() and canonical().
+// CRTP helper providing ObjectState::clone via the copy constructor and
+// assign_from via the copy assignment, so each concrete state only
+// implements apply() and canonical() (plus, optionally, the OpId apply and
+// fingerprint_into fast paths).
 
 #include <memory>
 
@@ -13,6 +15,15 @@ class StateBase : public ObjectState {
  public:
   [[nodiscard]] std::unique_ptr<ObjectState> clone() const final {
     return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+
+  [[nodiscard]] bool supports_assign() const final { return true; }
+
+  /// Copy-assigns from `other`; throws std::bad_cast if the dynamic types
+  /// differ (the checkers only pair states of one type, so this never fires
+  /// in practice -- it is the cheap insurance against misuse).
+  void assign_from(const ObjectState& other) final {
+    static_cast<Derived&>(*this) = dynamic_cast<const Derived&>(other);
   }
 };
 

@@ -9,15 +9,50 @@ namespace lintime::adt {
 
 namespace {
 
+enum : std::uint32_t {
+  kInsertIdx = 0,
+  kMoveIdx = 1,
+  kRemoveIdx = 2,
+  kDepthIdx = 3,
+  kParentIdx = 4,
+};
+
+const OpTable& tree_table() {
+  static const OpTable kTable{{
+      {TreeType::kInsert, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {TreeType::kMove, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {TreeType::kRemove, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {TreeType::kDepth, OpCategory::kPureAccessor, /*takes_arg=*/true},
+      {TreeType::kParent, OpCategory::kPureAccessor, /*takes_arg=*/true},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 5;
+
 class TreeState final : public StateBase<TreeState> {
  public:
   Value apply(const std::string& op, const Value& arg) override {
-    if (op == TreeType::kInsert) return attach(arg, /*reparent=*/false);
-    if (op == TreeType::kMove) return attach(arg, /*reparent=*/true);
-    if (op == TreeType::kRemove) return remove(arg);
-    if (op == TreeType::kDepth) return Value{depth_of(arg.as_int())};
-    if (op == TreeType::kParent) return Value{parent_of(arg.as_int())};
-    throw std::invalid_argument("tree: unknown op " + op);
+    const OpId id = tree_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("tree: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kInsertIdx:
+        return attach(arg, /*reparent=*/false);
+      case kMoveIdx:
+        return attach(arg, /*reparent=*/true);
+      case kRemoveIdx:
+        return remove(arg);
+      case kDepthIdx:
+        return Value{depth_of(arg.as_int())};
+      case kParentIdx:
+        return Value{parent_of(arg.as_int())};
+      default:
+        throw std::invalid_argument("tree: unknown op id");
+    }
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -25,6 +60,16 @@ class TreeState final : public StateBase<TreeState> {
     os << "tree:";
     for (const auto& [child, parent] : parent_) os << child << "<-" << parent << ',';
     return os.str();
+  }
+
+  void fingerprint_into(FpHasher& h) const override {
+    // std::map iterates in child order -- deterministic, matching canonical().
+    h.mix(kFpTag);
+    h.mix(parent_.size());
+    for (const auto& [child, parent] : parent_) {
+      h.mix_int(child);
+      h.mix_int(parent);
+    }
   }
 
  private:
@@ -82,16 +127,9 @@ class TreeState final : public StateBase<TreeState> {
 
 }  // namespace
 
-const std::vector<OpSpec>& TreeType::ops() const {
-  static const std::vector<OpSpec> kOps = {
-      {kInsert, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kMove, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kRemove, OpCategory::kPureMutator, /*takes_arg=*/true},
-      {kDepth, OpCategory::kPureAccessor, /*takes_arg=*/true},
-      {kParent, OpCategory::kPureAccessor, /*takes_arg=*/true},
-  };
-  return kOps;
-}
+const std::vector<OpSpec>& TreeType::ops() const { return tree_table().specs(); }
+
+const OpTable& TreeType::table() const { return tree_table(); }
 
 std::unique_ptr<ObjectState> TreeType::make_initial_state() const {
   return std::make_unique<TreeState>();

@@ -46,6 +46,7 @@ class TreeType final : public DataType {
  public:
   [[nodiscard]] std::string name() const override { return "tree"; }
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
   [[nodiscard]] std::vector<Value> sample_args(const std::string& op) const override;
 

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "adt/fingerprint.hpp"
+
 namespace lintime::adt {
 
 namespace {
@@ -67,6 +69,24 @@ std::size_t Value::hash() const {
   std::size_t seed = 0x766563ULL;
   for (const auto& e : as_vec()) hash_combine(seed, e.hash());
   return seed;
+}
+
+void Value::feed(FpHasher& h) const {
+  // Kind tag first so e.g. nil and the empty vector stream differently.
+  if (is_nil()) {
+    h.mix(0);
+  } else if (is_int()) {
+    h.mix(1);
+    h.mix_int(as_int());
+  } else if (is_str()) {
+    h.mix(2);
+    h.mix_bytes(as_str());
+  } else {
+    const auto& vec = as_vec();
+    h.mix(3);
+    h.mix(vec.size());
+    for (const auto& e : vec) e.feed(h);
+  }
 }
 
 std::ostream& operator<<(std::ostream& os, const Value& v) { return os << v.to_string(); }

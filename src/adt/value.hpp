@@ -17,6 +17,7 @@
 
 namespace lintime::adt {
 
+class FpHasher;
 class Value;
 
 /// Vector-of-values alias used for composite arguments (e.g. tree Insert
@@ -59,6 +60,10 @@ class Value {
 
   /// Stable hash suitable for memoization keys.
   [[nodiscard]] std::size_t hash() const;
+
+  /// Streams this value's structure (kind tag, then payload) into a state
+  /// fingerprint hasher; see adt/fingerprint.hpp for the contract.
+  void feed(FpHasher& h) const;
 
   /// Convenience factory for nil, reads better than `Value{}` at call sites.
   static Value nil() { return Value{}; }

@@ -8,22 +8,23 @@ using adt::Value;
 
 CentralizedProcess::CentralizedProcess(const adt::DataType& type, sim::ProcId self)
     : type_(type), self_(self) {
-  if (self_ == kCoordinator) state_ = type_.make_initial_state();
+  if (self_ == kCoordinator) state_ = type_.initial_state();
 }
 
 void CentralizedProcess::on_invoke(sim::Context& ctx, const std::string& op, const Value& arg) {
+  const adt::OpId id = type_.op_id(op);
   if (self_ == kCoordinator) {
     // Local invocation: apply directly; the coordinator's copy is the truth.
-    ctx.respond(state_->apply(op, arg));
+    ctx.respond(state_->apply(id, arg));
     return;
   }
-  ctx.send(kCoordinator, CentralRequest{op, arg, next_request_id_++});
+  ctx.send(kCoordinator, CentralRequest{id, arg, next_request_id_++});
 }
 
 void CentralizedProcess::on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) {
   if (self_ == kCoordinator) {
     const auto& req = std::any_cast<const CentralRequest&>(payload);
-    ctx.send(src, CentralReply{state_->apply(req.op, req.arg), req.request_id});
+    ctx.send(src, CentralReply{state_->apply(req.op_id, req.arg), req.request_id});
     return;
   }
   const auto& reply = std::any_cast<const CentralReply&>(payload);

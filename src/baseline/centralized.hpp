@@ -18,9 +18,11 @@
 
 namespace lintime::baseline {
 
-/// Request forwarded to the coordinator.
+/// Request forwarded to the coordinator.  The id is interned against the
+/// shared type at the requester, so the coordinator dispatches on it
+/// directly.
 struct CentralRequest {
-  std::string op;
+  adt::OpId op_id;
   adt::Value arg;
   std::uint64_t request_id = 0;
 };

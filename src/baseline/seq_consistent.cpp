@@ -13,26 +13,27 @@ SeqConsistentProcess::SeqConsistentProcess(const adt::DataType& type,
     : type_(type),
       add_delay_(params.d - params.u),
       execute_delay_(params.u + params.eps),
-      state_(type.make_initial_state()) {}
+      state_(type.initial_state()) {}
 
 void SeqConsistentProcess::on_invoke(sim::Context& ctx, const std::string& op,
                                      const Value& arg) {
-  const OpCategory cat = type_.category(op);
+  const adt::OpId id = type_.op_id(op);
+  const OpCategory cat = type_.category(id);
 
   if (cat == OpCategory::kPureAccessor) {
     if (last_own_mutator_.has_value()) {
       // Read-your-writes: wait until our most recent mutator has been
       // applied locally, then answer from the replica.
-      deferred_ = DeferredAccessor{op, arg, *last_own_mutator_};
+      deferred_ = DeferredAccessor{id, arg, *last_own_mutator_};
       return;
     }
-    ctx.respond(execute_locally(op, arg));
+    ctx.respond(execute_locally(id, arg));
     return;
   }
 
   const Timestamp ts{ctx.local_time(), ctx.self(), next_ts_seq_++};
-  ctx.set_timer(add_delay_, TimerData{TimerKind::kAdd, op, arg, ts});
-  ctx.broadcast(core::OpAnnounce{op, arg, ts});
+  ctx.set_timer(add_delay_, TimerData{TimerKind::kAdd, id, op, arg, ts});
+  ctx.broadcast(core::OpAnnounce{id, op, arg, ts});
   last_own_mutator_ = ts;
 
   if (cat == OpCategory::kPureMutator) {
@@ -45,7 +46,7 @@ void SeqConsistentProcess::on_invoke(sim::Context& ctx, const std::string& op,
 void SeqConsistentProcess::on_message(sim::Context& ctx, sim::ProcId /*src*/,
                                       const std::any& payload) {
   const auto& announce = std::any_cast<const core::OpAnnounce&>(payload);
-  add_to_queue(ctx, announce.op, announce.arg, announce.ts);
+  add_to_queue(ctx, announce.op_id, announce.op, announce.arg, announce.ts);
 }
 
 void SeqConsistentProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/,
@@ -53,7 +54,7 @@ void SeqConsistentProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/,
   const auto& timer = std::any_cast<const TimerData&>(data);
   switch (timer.kind) {
     case TimerKind::kAdd:
-      add_to_queue(ctx, timer.op, timer.arg, timer.ts);
+      add_to_queue(ctx, timer.op_id, timer.op, timer.arg, timer.ts);
       break;
     case TimerKind::kExecute:
       drain_up_to(ctx, timer.ts);
@@ -61,11 +62,11 @@ void SeqConsistentProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/,
   }
 }
 
-void SeqConsistentProcess::add_to_queue(sim::Context& ctx, const std::string& op,
+void SeqConsistentProcess::add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
                                         const Value& arg, const Timestamp& ts) {
   const sim::TimerId execute_timer =
-      ctx.set_timer(execute_delay_, TimerData{TimerKind::kExecute, op, arg, ts});
-  const auto [it, inserted] = to_execute_.emplace(ts, QueueEntry{op, arg, execute_timer});
+      ctx.set_timer(execute_delay_, TimerData{TimerKind::kExecute, op_id, op, arg, ts});
+  const auto [it, inserted] = to_execute_.emplace(ts, QueueEntry{op_id, op, arg, execute_timer});
   (void)it;
   if (!inserted) {
     throw std::logic_error("SeqConsistentProcess: duplicate timestamp in To_Execute");
@@ -80,24 +81,24 @@ void SeqConsistentProcess::drain_up_to(sim::Context& ctx, const Timestamp& ts) {
     to_execute_.erase(it);
     ctx.cancel_timer(entry.execute_timer);
 
-    const Value ret = execute_locally(entry.op, entry.arg);
+    const Value ret = execute_locally(entry.op_id, entry.arg);
 
     if (entry_ts.proc == ctx.self()) {
-      if (type_.category(entry.op) == OpCategory::kMixed) {
+      if (type_.category(entry.op_id) == OpCategory::kMixed) {
         ctx.respond(ret);
       }
       if (last_own_mutator_ == entry_ts) last_own_mutator_.reset();
       if (deferred_ && deferred_->waits_for <= entry_ts) {
         DeferredAccessor aop = *deferred_;
         deferred_.reset();
-        ctx.respond(execute_locally(aop.op, aop.arg));
+        ctx.respond(execute_locally(aop.op_id, aop.arg));
       }
     }
   }
 }
 
-adt::Value SeqConsistentProcess::execute_locally(const std::string& op, const Value& arg) {
-  return state_->apply(op, arg);
+adt::Value SeqConsistentProcess::execute_locally(adt::OpId op_id, const Value& arg) {
+  return state_->apply(op_id, arg);
 }
 
 }  // namespace lintime::baseline

@@ -47,12 +47,14 @@ class SeqConsistentProcess final : public sim::Process {
 
   struct TimerData {
     TimerKind kind;
+    adt::OpId op_id;
     std::string op;
     adt::Value arg;
     core::Timestamp ts;
   };
 
   struct QueueEntry {
+    adt::OpId op_id;
     std::string op;
     adt::Value arg;
     sim::TimerId execute_timer;
@@ -60,15 +62,15 @@ class SeqConsistentProcess final : public sim::Process {
 
   /// A pure accessor waiting for an own mutator to apply locally.
   struct DeferredAccessor {
-    std::string op;
+    adt::OpId op_id;
     adt::Value arg;
     core::Timestamp waits_for;  ///< own mutator timestamp it must observe
   };
 
-  void add_to_queue(sim::Context& ctx, const std::string& op, const adt::Value& arg,
-                    const core::Timestamp& ts);
+  void add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
+                    const adt::Value& arg, const core::Timestamp& ts);
   void drain_up_to(sim::Context& ctx, const core::Timestamp& ts);
-  adt::Value execute_locally(const std::string& op, const adt::Value& arg);
+  adt::Value execute_locally(adt::OpId op_id, const adt::Value& arg);
 
   const adt::DataType& type_;
   sim::Time add_delay_;      ///< d - u

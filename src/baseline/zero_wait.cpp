@@ -5,18 +5,19 @@
 namespace lintime::baseline {
 
 ZeroWaitProcess::ZeroWaitProcess(const adt::DataType& type)
-    : type_(type), state_(type.make_initial_state()) {}
+    : type_(type), state_(type.initial_state()) {}
 
 void ZeroWaitProcess::on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) {
-  if (type_.spec(op).is_mutator()) ctx.broadcast(ZeroWaitAnnounce{op, arg});
-  ctx.respond(state_->apply(op, arg));
+  const adt::OpId id = type_.op_id(op);
+  if (type_.spec(id).is_mutator()) ctx.broadcast(ZeroWaitAnnounce{id, arg});
+  ctx.respond(state_->apply(id, arg));
 }
 
 void ZeroWaitProcess::on_message(sim::Context& ctx, sim::ProcId /*src*/,
                                  const std::any& payload) {
   (void)ctx;
   const auto& announce = std::any_cast<const ZeroWaitAnnounce&>(payload);
-  state_->apply(announce.op, announce.arg);
+  state_->apply(announce.op_id, announce.arg);
 }
 
 void ZeroWaitProcess::on_timer(sim::Context&, sim::TimerId, const std::any&) {

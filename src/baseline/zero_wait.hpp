@@ -17,7 +17,7 @@
 namespace lintime::baseline {
 
 struct ZeroWaitAnnounce {
-  std::string op;
+  adt::OpId op_id;  ///< interned against the shared type; valid at every replica
   adt::Value arg;
 };
 

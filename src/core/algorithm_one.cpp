@@ -8,15 +8,19 @@ using adt::OpCategory;
 using adt::Value;
 
 AlgorithmOneProcess::AlgorithmOneProcess(const adt::DataType& type, TimingPolicy timing)
-    : type_(type), timing_(timing), state_(type.make_initial_state()) {}
+    : type_(type), timing_(timing), state_(type.initial_state()) {}
 
 void AlgorithmOneProcess::on_invoke(sim::Context& ctx, const std::string& op, const Value& arg) {
-  const OpCategory cat = type_.category(op);
+  // Resolve the name once at the invoker; the interned id then flows through
+  // every timer, announcement and queue entry (throws on unknown names, as
+  // the category lookup did before).
+  const adt::OpId id = type_.op_id(op);
+  const OpCategory cat = type_.category(id);
 
   if (cat == OpCategory::kPureAccessor) {
     // Line 2: respond d-X from now with timestamp back-dated by X.
     const Timestamp ts{ctx.local_time() - timing_.aop_backdate, ctx.self(), next_ts_seq_++};
-    ctx.set_timer(timing_.aop_respond, TimerData{TimerKind::kAopRespond, op, arg, ts});
+    ctx.set_timer(timing_.aop_respond, TimerData{TimerKind::kAopRespond, id, op, arg, ts});
     return;
   }
 
@@ -24,19 +28,19 @@ void AlgorithmOneProcess::on_invoke(sim::Context& ctx, const std::string& op, co
   const Timestamp ts{ctx.local_time(), ctx.self(), next_ts_seq_++};
   if (cat == OpCategory::kPureMutator) {
     // Line 12: pure mutators ACK after X+eps, independent of execution.
-    ctx.set_timer(timing_.mop_respond, TimerData{TimerKind::kMopRespond, op, arg, ts});
+    ctx.set_timer(timing_.mop_respond, TimerData{TimerKind::kMopRespond, id, op, arg, ts});
   }
   // Line 14: the invoker pretends to receive its own announcement after the
   // minimum message delay d-u, like any other process.
-  ctx.set_timer(timing_.add_delay, TimerData{TimerKind::kAdd, op, arg, ts});
+  ctx.set_timer(timing_.add_delay, TimerData{TimerKind::kAdd, id, op, arg, ts});
   // Line 15: announce to everyone else.
-  ctx.broadcast(OpAnnounce{op, arg, ts});
+  ctx.broadcast(OpAnnounce{id, op, arg, ts});
 }
 
 void AlgorithmOneProcess::on_message(sim::Context& ctx, sim::ProcId /*src*/,
                                      const std::any& payload) {
   const auto& announce = std::any_cast<const OpAnnounce&>(payload);
-  add_to_queue(ctx, announce.op, announce.arg, announce.ts);
+  add_to_queue(ctx, announce.op_id, announce.op, announce.arg, announce.ts);
 }
 
 void AlgorithmOneProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/, const std::any& data) {
@@ -46,7 +50,7 @@ void AlgorithmOneProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/, const
       // Lines 3-9: catch up on every mutator ordered before the accessor,
       // then execute the accessor locally and respond.
       drain_up_to(ctx, timer.ts);
-      ctx.respond(execute_locally(timer.op, timer.arg, timer.ts));
+      ctx.respond(execute_locally(timer.op_id, timer.op, timer.arg, timer.ts));
       break;
     }
     case TimerKind::kMopRespond:
@@ -55,7 +59,7 @@ void AlgorithmOneProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/, const
       break;
     case TimerKind::kAdd:
       // Lines 18-20 (invoker side).
-      add_to_queue(ctx, timer.op, timer.arg, timer.ts);
+      add_to_queue(ctx, timer.op_id, timer.op, timer.arg, timer.ts);
       break;
     case TimerKind::kExecute:
       // Lines 21-29.
@@ -64,11 +68,11 @@ void AlgorithmOneProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/, const
   }
 }
 
-void AlgorithmOneProcess::add_to_queue(sim::Context& ctx, const std::string& op, const Value& arg,
-                                       const Timestamp& ts) {
+void AlgorithmOneProcess::add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
+                                       const Value& arg, const Timestamp& ts) {
   const sim::TimerId execute_timer =
-      ctx.set_timer(timing_.execute_delay, TimerData{TimerKind::kExecute, op, arg, ts});
-  const auto [it, inserted] = to_execute_.emplace(ts, QueueEntry{op, arg, execute_timer});
+      ctx.set_timer(timing_.execute_delay, TimerData{TimerKind::kExecute, op_id, op, arg, ts});
+  const auto [it, inserted] = to_execute_.emplace(ts, QueueEntry{op_id, op, arg, execute_timer});
   (void)it;
   if (!inserted) {
     throw std::logic_error("AlgorithmOneProcess: duplicate timestamp in To_Execute");
@@ -83,20 +87,20 @@ void AlgorithmOneProcess::drain_up_to(sim::Context& ctx, const Timestamp& ts) {
     to_execute_.erase(it);
     ctx.cancel_timer(entry.execute_timer);
 
-    const Value ret = execute_locally(entry.op, entry.arg, entry_ts);
+    const Value ret = execute_locally(entry.op_id, entry.op, entry.arg, entry_ts);
 
     // Lines 26-28: if this was our own mixed operation, its execution is
     // its response.  (Our own pure mutators already ACKed at line 17.)
     if (entry_ts.proc == ctx.self() &&
-        type_.category(entry.op) == OpCategory::kMixed) {
+        type_.category(entry.op_id) == OpCategory::kMixed) {
       ctx.respond(ret);
     }
   }
 }
 
-Value AlgorithmOneProcess::execute_locally(const std::string& op, const Value& arg,
-                                           const Timestamp& ts) {
-  Value ret = state_->apply(op, arg);
+Value AlgorithmOneProcess::execute_locally(adt::OpId op_id, const std::string& op,
+                                           const Value& arg, const Timestamp& ts) {
+  Value ret = state_->apply(op_id, arg);
   executed_.push_back(ExecutedOp{op, arg, ret, ts});
   return ret;
 }

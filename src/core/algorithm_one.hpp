@@ -29,8 +29,12 @@
 
 namespace lintime::core {
 
-/// Wire format: announcement of a mutator invocation (line 15).
+/// Wire format: announcement of a mutator invocation (line 15).  Every
+/// replica runs against the same DataType, so the interned id resolved once
+/// at the invoker is valid everywhere; the name rides along for the
+/// execution log and diagnostics.
 struct OpAnnounce {
+  adt::OpId op_id;
   std::string op;
   adt::Value arg;
   Timestamp ts;
@@ -68,12 +72,14 @@ class AlgorithmOneProcess final : public sim::Process {
 
   struct TimerData {
     TimerKind kind;
+    adt::OpId op_id;
     std::string op;
     adt::Value arg;
     Timestamp ts;
   };
 
   struct QueueEntry {
+    adt::OpId op_id;
     std::string op;
     adt::Value arg;
     sim::TimerId execute_timer;
@@ -81,15 +87,16 @@ class AlgorithmOneProcess final : public sim::Process {
 
   /// Lines 18-20: enter the mutator into To_Execute and start its settle
   /// timer.
-  void add_to_queue(sim::Context& ctx, const std::string& op, const adt::Value& arg,
-                    const Timestamp& ts);
+  void add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
+                    const adt::Value& arg, const Timestamp& ts);
 
   /// Lines 4-8 / 22-29: execute every queued mutator with timestamp <= ts,
   /// in timestamp order, responding if one of them is our own pending OOP.
   void drain_up_to(sim::Context& ctx, const Timestamp& ts);
 
   /// Line 30-33: apply (op, arg) to the local replica.
-  adt::Value execute_locally(const std::string& op, const adt::Value& arg, const Timestamp& ts);
+  adt::Value execute_locally(adt::OpId op_id, const std::string& op, const adt::Value& arg,
+                             const Timestamp& ts);
 
   const adt::DataType& type_;
   TimingPolicy timing_;

@@ -36,12 +36,15 @@ namespace {
 
 class ProductState final : public adt::ObjectState {
  public:
-  explicit ProductState(const std::vector<const adt::DataType*>& components) {
+  explicit ProductState(const ProductType& owner) : owner_(&owner) {
+    const auto& components = owner.components();
     states_.reserve(components.size());
-    for (const auto* c : components) states_.push_back(c->make_initial_state());
+    for (const auto* c : components) states_.push_back(c->initial_state());
   }
 
-  ProductState(const ProductState& other) {
+  // Copies must keep the ObjectState base (the bound op table) alongside the
+  // deep-copied component states.
+  ProductState(const ProductState& other) : adt::ObjectState(other), owner_(other.owner_) {
     states_.reserve(other.states_.size());
     for (const auto& s : other.states_) states_.push_back(s->clone());
   }
@@ -51,8 +54,28 @@ class ProductState final : public adt::ObjectState {
     return states_.at(q.object)->apply(q.op, arg);
   }
 
+  adt::Value apply(adt::OpId id, const adt::Value& arg) override {
+    const auto& sub = owner_->sub_op(id);
+    return states_[sub.object]->apply(sub.op, arg);
+  }
+
   [[nodiscard]] std::unique_ptr<adt::ObjectState> clone() const override {
     return std::make_unique<ProductState>(*this);
+  }
+
+  [[nodiscard]] bool supports_assign() const override { return true; }
+
+  void assign_from(const adt::ObjectState& other) override {
+    const auto& o = dynamic_cast<const ProductState&>(other);
+    adt::ObjectState::operator=(o);
+    owner_ = o.owner_;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i]->supports_assign()) {
+        states_[i]->assign_from(*o.states_[i]);
+      } else {
+        states_[i] = o.states_[i]->clone();
+      }
+    }
   }
 
   [[nodiscard]] std::string canonical() const override {
@@ -63,7 +86,14 @@ class ProductState final : public adt::ObjectState {
     return os.str();
   }
 
+  void fingerprint_into(adt::FpHasher& h) const override {
+    h.mix(11);  // composite tag, distinct from every component tag
+    h.mix(states_.size());
+    for (const auto& s : states_) s->fingerprint_into(h);
+  }
+
  private:
+  const ProductType* owner_;
   std::vector<std::unique_ptr<adt::ObjectState>> states_;
 };
 
@@ -77,6 +107,7 @@ ProductType::ProductType(std::vector<const adt::DataType*> components)
       adt::OpSpec qualified = spec;
       qualified.name = qualify(i, spec.name);
       ops_.push_back(std::move(qualified));
+      dispatch_.push_back(SubOp{i, components_[i]->op_id(spec.name)});
     }
   }
 }
@@ -93,7 +124,7 @@ std::string ProductType::name() const {
 }
 
 std::unique_ptr<adt::ObjectState> ProductType::make_initial_state() const {
-  return std::make_unique<ProductState>(components_);
+  return std::make_unique<ProductState>(*this);
 }
 
 std::vector<adt::Value> ProductType::sample_args(const std::string& op) const {
@@ -168,6 +199,7 @@ std::vector<sim::OpRecord> restrict_to_object(const std::vector<sim::OpRecord>& 
     const auto q = parse_qualified(op.op);
     if (q.object != object) continue;
     op.op = q.op;
+    op.op_id = adt::OpId{};  // product-level id; invalid against the component type
     out.push_back(std::move(op));
   }
   return out;

@@ -54,9 +54,18 @@ class ProductType final : public adt::DataType {
     return components_;
   }
 
+  /// Interned dispatch: a product-level OpId resolves to (component index,
+  /// component-level OpId) without re-parsing the qualified name.
+  struct SubOp {
+    std::size_t object;
+    adt::OpId op;
+  };
+  [[nodiscard]] const SubOp& sub_op(adt::OpId id) const { return dispatch_.at(id.index()); }
+
  private:
   std::vector<const adt::DataType*> components_;
   std::vector<adt::OpSpec> ops_;
+  std::vector<SubOp> dispatch_;
 };
 
 /// One simulated process hosting an independent Algorithm 1 instance per

@@ -2,7 +2,6 @@
 
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "lin/search_detail.hpp"
 
@@ -17,75 +16,75 @@ class Search {
   Search(const adt::DataType& type, const std::vector<sim::OpRecord>& ops,
          const std::function<bool(std::size_t, std::size_t)>& precedes_fn,
          const CheckOptions& options)
-      : type_(type), ops_(ops), n_(ops.size()), options_(options) {
-    precedes_.assign(n_ * n_, false);
-    pred_count_.assign(n_, 0);
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (i != j && precedes_fn(i, j)) {
-          precedes_[i * n_ + j] = true;
-          ++pred_count_[j];
-        }
-      }
+      : ops_(ops), n_(ops.size()), prec_(n_, precedes_fn), options_(options) {
+    // Resolve every record's operation name to its interned id once; the
+    // probe loop then dispatches on integers only.  Pure accessors never
+    // mutate, so their probes run on the live state without a copy.
+    ids_.reserve(n_);
+    pure_accessor_.reserve(n_);
+    for (const auto& op : ops_) {
+      const adt::OpId id = type.op_id(op.op);
+      ids_.push_back(id);
+      pure_accessor_.push_back(type.category(id) == adt::OpCategory::kPureAccessor);
     }
-    placed_.assign(n_, false);
+    placed_.assign(placed_word_count(n_), 0);
+    initial_ = type.initial_state();
   }
 
   CheckResult run() {
     CheckResult result;
-    auto state = type_.make_initial_state();
-    result.linearizable = dfs(*state, 0);
+    result.linearizable = dfs(*initial_, 0);
     result.witness = witness_;
-    result.nodes_expanded = nodes_;
+    result.nodes_expanded = nodes_.value();
     return result;
   }
 
  private:
   bool dfs(adt::ObjectState& state, std::size_t placed_count) {
     if (placed_count == n_) return true;
-    ++nodes_;
+    nodes_.bump();
 
-    std::string key;
-    key.reserve(n_ + 1 + 16);
-    for (std::size_t i = 0; i < n_; ++i) key.push_back(placed_[i] ? '1' : '0');
-    key.push_back('|');
-    key += state.canonical();
-    if (options_.memoize && visited_.contains(key)) return false;
-
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (placed_[i] || pred_count_[i] != 0) continue;
-
-      auto probe = state.clone();
-      if (probe->apply(ops_[i].op, ops_[i].arg) != ops_[i].ret) continue;
-
-      placed_[i] = true;
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (precedes_[i * n_ + j]) --pred_count_[j];
-      }
-      witness_.push_back(i);
-
-      if (dfs(*probe, placed_count + 1)) return true;
-
-      witness_.pop_back();
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (precedes_[i * n_ + j]) ++pred_count_[j];
-      }
-      placed_[i] = false;
+    adt::Fingerprint fp;
+    if (options_.memoize) {
+      fp = state.fingerprint();
+      if (memo_.known_dead(placed_, fp, state)) return false;
     }
 
-    if (options_.memoize) visited_.insert(std::move(key));
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (test_bit(placed_, i) || !prec_.ready(i)) continue;
+
+      // A pure accessor leaves the state unchanged, so it probes (and
+      // recurses) on the live state; everything else probes a scratch copy.
+      adt::ObjectState& probe =
+          pure_accessor_[i] ? state : scratch_.copy_at(placed_count, state);
+      if (probe.apply(ids_[i], ops_[i].arg) != ops_[i].ret) continue;
+
+      set_bit(placed_, i);
+      prec_.place(i);
+      witness_.push_back(i);
+
+      if (dfs(probe, placed_count + 1)) return true;
+
+      witness_.pop_back();
+      prec_.unplace(i);
+      clear_bit(placed_, i);
+    }
+
+    if (options_.memoize) memo_.mark_dead(placed_, fp, state);
     return false;
   }
 
-  const adt::DataType& type_;
   const std::vector<sim::OpRecord>& ops_;
   std::size_t n_;
-  std::vector<char> precedes_;
-  std::vector<int> pred_count_;
-  std::vector<char> placed_;
+  std::vector<adt::OpId> ids_;
+  std::vector<char> pure_accessor_;  ///< per record: declared kPureAccessor
+  PrecedenceMatrix prec_;
+  std::vector<std::uint64_t> placed_;
   std::vector<std::size_t> witness_;
-  std::unordered_set<std::string> visited_;
-  std::size_t nodes_ = 0;
+  StateMemo memo_;
+  ScratchStates scratch_;
+  NodeCounter nodes_;
+  std::unique_ptr<adt::ObjectState> initial_;
   CheckOptions options_;
 };
 
@@ -116,19 +115,10 @@ std::string CheckResult::witness_to_string(const std::vector<sim::OpRecord>& ops
 CheckResult check_linearizability(const adt::DataType& type,
                                   const std::vector<sim::OpRecord>& ops,
                                   const CheckOptions& options) {
-  return detail::search_permutation(type, ops, [&ops](std::size_t i, std::size_t j) {
-    // Cross-process: strict real-time precedence.  Same process: program
-    // order (by invocation; uid breaks exact-boundary ties, where a response
-    // and the next invocation share a real time but the response's step
-    // comes first in the process's view).
-    if (ops[i].proc == ops[j].proc) {
-      if (ops[i].invoke_real != ops[j].invoke_real) {
-        return ops[i].invoke_real < ops[j].invoke_real;
-      }
-      return ops[i].uid < ops[j].uid;
-    }
-    return ops[i].response_real < ops[j].invoke_real;
-  }, options);
+  return detail::search_permutation(
+      type, ops,
+      [&ops](std::size_t i, std::size_t j) { return detail::realtime_precedes(ops[i], ops[j]); },
+      options);
 }
 
 CheckResult check_linearizability(const adt::DataType& type, const sim::RunRecord& record) {

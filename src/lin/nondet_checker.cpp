@@ -1,35 +1,32 @@
 #include "lin/nondet_checker.hpp"
 
 #include <stdexcept>
-#include <unordered_set>
+
+#include "lin/search_detail.hpp"
 
 namespace lintime::lin {
 
 namespace {
 
+using detail::clear_bit;
+using detail::set_bit;
+using detail::test_bit;
+
+/// Same memoized Wing-Gong DFS as the deterministic search, built on the
+/// shared PrecedenceMatrix / StateMemo machinery, except that placing an
+/// instance branches over every outcome whose return value matches the
+/// record.  Outcomes come back as fresh states, so there is no scratch-state
+/// reuse here.
 class NondetSearch {
  public:
   NondetSearch(const adt::NondetDataType& type, const std::vector<sim::OpRecord>& ops)
-      : type_(type), ops_(ops), n_(ops.size()) {
-    precedes_.assign(n_ * n_, false);
-    pred_count_.assign(n_, 0);
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (i == j) continue;
-        bool before = false;
-        if (ops[i].proc == ops[j].proc) {
-          before = ops[i].invoke_real < ops[j].invoke_real ||
-                   (ops[i].invoke_real == ops[j].invoke_real && ops[i].uid < ops[j].uid);
-        } else {
-          before = ops[i].response_real < ops[j].invoke_real;
-        }
-        if (before) {
-          precedes_[i * n_ + j] = true;
-          ++pred_count_[j];
-        }
-      }
-    }
-    placed_.assign(n_, false);
+      : type_(type),
+        ops_(ops),
+        n_(ops.size()),
+        prec_(n_, [&ops](std::size_t i, std::size_t j) {
+          return detail::realtime_precedes(ops[i], ops[j]);
+        }) {
+    placed_.assign(detail::placed_word_count(n_), 0);
   }
 
   CheckResult run() {
@@ -37,58 +34,49 @@ class NondetSearch {
     auto state = type_.make_initial_state();
     result.linearizable = dfs(*state, 0);
     result.witness = witness_;
-    result.nodes_expanded = nodes_;
+    result.nodes_expanded = nodes_.value();
     return result;
   }
 
  private:
   bool dfs(adt::ObjectState& state, std::size_t placed_count) {
     if (placed_count == n_) return true;
-    ++nodes_;
+    nodes_.bump();
 
-    std::string key;
-    key.reserve(n_ + 1 + 16);
-    for (std::size_t i = 0; i < n_; ++i) key.push_back(placed_[i] ? '1' : '0');
-    key.push_back('|');
-    key += state.canonical();
-    if (visited_.contains(key)) return false;
+    const adt::Fingerprint fp = state.fingerprint();
+    if (memo_.known_dead(placed_, fp, state)) return false;
 
     for (std::size_t i = 0; i < n_; ++i) {
-      if (placed_[i] || pred_count_[i] != 0) continue;
+      if (test_bit(placed_, i) || !prec_.ready(i)) continue;
 
       // Branch over every outcome whose return value matches the record.
       for (auto& outcome : type_.outcomes(state, ops_[i].op, ops_[i].arg)) {
         if (outcome.ret != ops_[i].ret) continue;
 
-        placed_[i] = true;
-        for (std::size_t j = 0; j < n_; ++j) {
-          if (precedes_[i * n_ + j]) --pred_count_[j];
-        }
+        set_bit(placed_, i);
+        prec_.place(i);
         witness_.push_back(i);
 
         if (dfs(*outcome.state, placed_count + 1)) return true;
 
         witness_.pop_back();
-        for (std::size_t j = 0; j < n_; ++j) {
-          if (precedes_[i * n_ + j]) ++pred_count_[j];
-        }
-        placed_[i] = false;
+        prec_.unplace(i);
+        clear_bit(placed_, i);
       }
     }
 
-    visited_.insert(std::move(key));
+    memo_.mark_dead(placed_, fp, state);
     return false;
   }
 
   const adt::NondetDataType& type_;
   const std::vector<sim::OpRecord>& ops_;
   std::size_t n_;
-  std::vector<char> precedes_;
-  std::vector<int> pred_count_;
-  std::vector<char> placed_;
+  detail::PrecedenceMatrix prec_;
+  std::vector<std::uint64_t> placed_;
   std::vector<std::size_t> witness_;
-  std::unordered_set<std::string> visited_;
-  std::size_t nodes_ = 0;
+  detail::StateMemo memo_;
+  detail::NodeCounter nodes_;
 };
 
 }  // namespace

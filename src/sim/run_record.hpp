@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "adt/op.hpp"
 #include "adt/value.hpp"
 #include "sim/model_params.hpp"
 
@@ -70,6 +71,12 @@ struct OpRecord {
   Time invoke_real = 0;
   Time response_real = -1;  ///< -1 until the response is emitted
   std::uint64_t uid = 0;    ///< unique per run, stable across shifting
+
+  /// Interned id of `op` against the run's data type, stamped by the World
+  /// when WorldConfig::type is set; invalid otherwise (records loaded from
+  /// traces, or restricted composite histories whose names were rewritten).
+  /// `op` remains authoritative -- the checkers re-resolve names themselves.
+  adt::OpId op_id;
 
   [[nodiscard]] bool complete() const { return response_real >= invoke_real; }
   [[nodiscard]] Time latency() const { return response_real - invoke_real; }

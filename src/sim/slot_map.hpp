@@ -1,0 +1,74 @@
+#pragma once
+// SlotMap: index-stable storage for the simulator's payload side tables.
+//
+// The World allocates timer / message / invocation ids sequentially from 1
+// and consumes them in near-FIFO order (a message is delivered once, shortly
+// after it was sent).  A std::map pays a node allocation plus pointer-chasing
+// per entry for ordering nobody needs; this container instead stores slot
+// `id - base` of a deque and trims exhausted slots off the front, so insert,
+// find and take are O(1) amortized and iteration-order determinism is moot
+// (there is no iteration at all).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace lintime::sim {
+
+/// Maps sequentially-allocated ids (1, 2, 3, ...) to values.  Ids below the
+/// trimmed base or never inserted simply miss (find -> nullptr, take ->
+/// nullopt), matching the map.find() == end() checks this replaces.
+template <typename T>
+class SlotMap {
+ public:
+  /// Stores `value` under `id`.  Ids arrive in increasing order from the
+  /// World's counters; an id below the trimmed base would be a reuse bug, so
+  /// it is ignored rather than resurrecting a consumed slot.
+  void insert(std::uint64_t id, T value) {
+    if (id < base_) return;
+    const auto idx = static_cast<std::size_t>(id - base_);
+    if (idx >= slots_.size()) slots_.resize(idx + 1);
+    slots_[idx] = std::move(value);
+  }
+
+  [[nodiscard]] const T* find(std::uint64_t id) const {
+    if (id < base_) return nullptr;
+    const auto idx = static_cast<std::size_t>(id - base_);
+    if (idx >= slots_.size() || !slots_[idx]) return nullptr;
+    return &*slots_[idx];
+  }
+
+  /// Removes and returns the value, or nullopt if absent.
+  std::optional<T> take(std::uint64_t id) {
+    if (id < base_) return std::nullopt;
+    const auto idx = static_cast<std::size_t>(id - base_);
+    if (idx >= slots_.size() || !slots_[idx]) return std::nullopt;
+    std::optional<T> out = std::move(slots_[idx]);
+    slots_[idx].reset();
+    trim_front();
+    return out;
+  }
+
+  void erase(std::uint64_t id) { take(id); }
+
+  [[nodiscard]] bool empty() const {
+    for (const auto& s : slots_) {
+      if (s) return false;
+    }
+    return true;
+  }
+
+ private:
+  void trim_front() {
+    while (!slots_.empty() && !slots_.front()) {
+      slots_.pop_front();
+      ++base_;
+    }
+  }
+
+  std::deque<std::optional<T>> slots_;
+  std::uint64_t base_ = 1;  ///< id of slots_.front(); ids start at 1
+};
+
+}  // namespace lintime::sim

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "adt/data_type.hpp"
+
 namespace lintime::sim {
 
 namespace {
@@ -80,7 +82,7 @@ class World::ContextImpl final : public Context {
     rec.recv_real = snap(world_.now_ + delay);
     rec.received = true;  // reliable network: everything sent is delivered
     world_.record_.messages.push_back(rec);
-    world_.in_flight_[id] = PendingMessage{self_, dst, std::move(payload)};
+    world_.in_flight_.insert(id, PendingMessage{self_, dst, std::move(payload)});
     step_.sent_message_ids.push_back(id);
 
     Event ev;
@@ -100,7 +102,7 @@ class World::ContextImpl final : public Context {
   TimerId set_timer(Time delay, std::any data) override {
     if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
     const std::uint64_t id = world_.next_timer_id_++;
-    world_.timers_[id] = PendingTimer{self_, std::move(data)};
+    world_.timers_.insert(id, PendingTimer{self_, std::move(data)});
     Event ev;
     // A local-clock duration takes delay / rate real time (rate 1, the
     // paper's model, makes them equal).
@@ -204,7 +206,10 @@ void World::invoke_at(Time when, ProcId proc, std::string op, adt::Value arg) {
   }
   if (when < now_) throw std::invalid_argument("invoke_at: time in the past");
   const std::uint64_t id = next_invoke_id_++;
-  pending_invokes_[id] = PendingInvoke{std::move(op), std::move(arg)};
+  // Resolve the operation name to its interned id once, off the dispatch
+  // path; unknown names stay invalid (the process's on_invoke decides).
+  const adt::OpId op_id = config_.type != nullptr ? config_.type->find_op(op) : adt::OpId{};
+  pending_invokes_.insert(id, PendingInvoke{std::move(op), std::move(arg), op_id});
   Event ev;
   ev.when = snap(when);
   ev.kind = Event::Kind::kInvoke;
@@ -240,21 +245,20 @@ void World::dispatch(const Event& ev) {
         throw std::logic_error("invocation at p" + std::to_string(ev.proc) +
                                " while another instance is pending (user constraint violated)");
       }
-      auto inv_it = pending_invokes_.find(ev.invoke_id);
-      if (inv_it == pending_invokes_.end()) break;  // should not happen
-      PendingInvoke inv = std::move(inv_it->second);
-      pending_invokes_.erase(inv_it);
+      auto inv = pending_invokes_.take(ev.invoke_id);
+      if (!inv) break;  // should not happen
 
       step.trigger = Trigger::kInvoke;
-      step.op = inv.op;
-      step.arg = inv.arg;
+      step.op = inv->op;
+      step.arg = inv->arg;
 
       OpRecord op;
       op.proc = ev.proc;
-      op.op = std::move(inv.op);
-      op.arg = std::move(inv.arg);
+      op.op = std::move(inv->op);
+      op.arg = std::move(inv->arg);
       op.invoke_real = now_;
       op.uid = next_op_uid_++;
+      op.op_id = inv->op_id;
       pending_op_[pi] = static_cast<std::int64_t>(record_.ops.size());
       record_.ops.push_back(std::move(op));
 
@@ -268,25 +272,21 @@ void World::dispatch(const Event& ev) {
       break;
     }
     case Event::Kind::kDeliver: {
-      auto it = in_flight_.find(ev.message_id);
-      if (it == in_flight_.end()) break;  // should not happen
+      auto msg = in_flight_.take(ev.message_id);
+      if (!msg) break;  // should not happen
       step.trigger = Trigger::kMessage;
       step.message_id = ev.message_id;
-      PendingMessage msg = std::move(it->second);
-      in_flight_.erase(it);
       ContextImpl ctx(*this, ev.proc, step);
-      processes_[pi]->on_message(ctx, msg.src, msg.payload);
+      processes_[pi]->on_message(ctx, msg->src, msg->payload);
       break;
     }
     case Event::Kind::kTimer: {
-      auto it = timers_.find(ev.timer_id);
-      if (it == timers_.end()) return;  // cancelled; not a step at all
+      auto timer = timers_.take(ev.timer_id);
+      if (!timer) return;  // cancelled; not a step at all
       step.trigger = Trigger::kTimer;
       step.timer_id = ev.timer_id;
-      std::any data = std::move(it->second.data);
-      timers_.erase(it);
       ContextImpl ctx(*this, ev.proc, step);
-      processes_[pi]->on_timer(ctx, TimerId{ev.timer_id}, data);
+      processes_[pi]->on_timer(ctx, TimerId{ev.timer_id}, timer->data);
       break;
     }
   }

@@ -6,7 +6,6 @@
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <queue>
 #include <random>
@@ -16,6 +15,11 @@
 #include "sim/model_params.hpp"
 #include "sim/process.hpp"
 #include "sim/run_record.hpp"
+#include "sim/slot_map.hpp"
+
+namespace lintime::adt {
+class DataType;
+}  // namespace lintime::adt
 
 namespace lintime::sim {
 
@@ -23,6 +27,12 @@ namespace lintime::sim {
 struct WorldConfig {
   ModelParams params;
   std::vector<Time> clock_offsets;  ///< size n; empty = all zero
+
+  /// Optional: the data type this run exercises.  When set (it must outlive
+  /// the World), invocations resolve their operation name to an interned
+  /// adt::OpId once at schedule time and every OpRecord carries it, so
+  /// downstream metrics can aggregate on integers instead of strings.
+  const adt::DataType* type = nullptr;
 
   /// EXTENSION (outside the paper's model, for the robustness bench): clock
   /// rates per process; local_time = rate * real + offset.  Empty = all 1
@@ -125,6 +135,7 @@ class World {
   struct PendingInvoke {
     std::string op;
     adt::Value arg;
+    adt::OpId op_id;  ///< resolved once at invoke_at when config_.type is set
   };
 
   struct PendingMessage {
@@ -150,9 +161,11 @@ class World {
   std::uint64_t next_op_uid_ = 1;
   Time now_ = 0;
 
-  std::map<std::uint64_t, PendingTimer> timers_;      ///< live timers
-  std::map<std::uint64_t, PendingMessage> in_flight_; ///< undelivered messages
-  std::map<std::uint64_t, PendingInvoke> pending_invokes_;  ///< scheduled invocations
+  // Sequential ids consumed near-FIFO: SlotMap beats std::map's node
+  // allocation + pointer chase on the dispatch hot path.
+  SlotMap<PendingTimer> timers_;             ///< live timers
+  SlotMap<PendingMessage> in_flight_;        ///< undelivered messages
+  SlotMap<PendingInvoke> pending_invokes_;   ///< scheduled invocations
 
   /// Pending invocation per process (index into record_.ops), or -1.
   std::vector<std::int64_t> pending_op_;
