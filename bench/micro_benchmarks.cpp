@@ -125,8 +125,11 @@ BENCHMARK(BM_ClockSync)->Arg(4)->Arg(16)->Arg(64);
 #include "adt/set_type.hpp"
 #include "adt/stack_type.hpp"
 #include "adt/tree_type.hpp"
+#include "adt/pqueue_type.hpp"
 #include "core/composite.hpp"
 #include "core/construction.hpp"
+#include "lin/check.hpp"
+#include "lin/fast/history_gen.hpp"
 #include "lin/nondet_checker.hpp"
 #include "sim/world.hpp"
 
@@ -233,6 +236,55 @@ void BM_CheckerThroughput_Tree(benchmark::State& state) {
   checker_throughput<lintime::adt::TreeType>(state, 8, 31);
 }
 BENCHMARK(BM_CheckerThroughput_Tree);
+
+/// Fast-path checker throughput: generated unambiguous histories routed
+/// through lin::check() to the log-linear monitors.  The sizes run 10^4 to
+/// 10^6 operations -- two to five orders of magnitude beyond what the
+/// general search handles above -- and land in BENCH_checker.json next to
+/// the Wing-Gong numbers.
+template <class TypeT>
+void fast_checker_throughput(benchmark::State& state) {
+  const TypeT type;
+  lintime::lin::fast::GenOptions gen;
+  gen.procs = 8;
+  gen.total_ops = static_cast<std::size_t>(state.range(0));
+  gen.seed = 42;
+  const auto ops = lintime::lin::fast::generate_unambiguous(type, gen);
+  std::int64_t checked = 0;
+  for (auto _ : state) {
+    const auto report = lintime::lin::check(type, ops);
+    benchmark::DoNotOptimize(report.result.linearizable);
+    checked += static_cast<std::int64_t>(ops.size());
+  }
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(static_cast<double>(checked), benchmark::Counter::kIsRate);
+  state.SetLabel(type.name() + ", " + std::to_string(ops.size()) + " ops, fast path");
+}
+
+void BM_FastCheckerThroughput_Queue(benchmark::State& state) {
+  fast_checker_throughput<lintime::adt::QueueType>(state);
+}
+BENCHMARK(BM_FastCheckerThroughput_Queue)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FastCheckerThroughput_Stack(benchmark::State& state) {
+  fast_checker_throughput<lintime::adt::StackType>(state);
+}
+BENCHMARK(BM_FastCheckerThroughput_Stack)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FastCheckerThroughput_Register(benchmark::State& state) {
+  fast_checker_throughput<lintime::adt::RegisterType>(state);
+}
+BENCHMARK(BM_FastCheckerThroughput_Register)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FastCheckerThroughput_Set(benchmark::State& state) {
+  fast_checker_throughput<lintime::adt::SetType>(state);
+}
+BENCHMARK(BM_FastCheckerThroughput_Set)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FastCheckerThroughput_PQueue(benchmark::State& state) {
+  fast_checker_throughput<lintime::adt::PriorityQueueType>(state);
+}
+BENCHMARK(BM_FastCheckerThroughput_PQueue)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_CompositeTwoObjects(benchmark::State& state) {
   lintime::adt::QueueType queue;

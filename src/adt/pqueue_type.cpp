@@ -1,0 +1,84 @@
+#include "adt/pqueue_type.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adt/state_base.hpp"
+
+namespace lintime::adt {
+
+namespace {
+
+enum : std::uint32_t { kInsertIdx = 0, kExtractMinIdx = 1, kFindMinIdx = 2 };
+
+const OpTable& pqueue_table() {
+  static const OpTable kTable{{
+      {PriorityQueueType::kInsert, OpCategory::kPureMutator, /*takes_arg=*/true},
+      {PriorityQueueType::kExtractMin, OpCategory::kMixed, /*takes_arg=*/false},
+      {PriorityQueueType::kFindMin, OpCategory::kPureAccessor, /*takes_arg=*/false},
+  }};
+  return kTable;
+}
+
+constexpr std::uint64_t kFpTag = 11;
+
+// A multiset: duplicate inserts are legal (the fast monitor's unambiguity
+// precondition rules them out, but the sequential spec does not).
+class PQueueState final : public StateBase<PQueueState> {
+ public:
+  Value apply(const std::string& op, const Value& arg) override {
+    const OpId id = pqueue_table().find(op);
+    if (!id.valid()) throw std::invalid_argument("pqueue: unknown op " + op);
+    return apply(id, arg);
+  }
+
+  Value apply(OpId id, const Value& arg) override {
+    switch (id.index()) {
+      case kInsertIdx:
+        items_.insert(arg.as_int());
+        return Value::nil();
+      case kExtractMinIdx: {
+        if (items_.empty()) return Value::nil();
+        const auto it = items_.begin();
+        const std::int64_t v = *it;
+        items_.erase(it);
+        return Value{v};
+      }
+      case kFindMinIdx:
+        if (items_.empty()) return Value::nil();
+        return Value{*items_.begin()};
+      default:
+        throw std::invalid_argument("pqueue: unknown op id");
+    }
+  }
+
+  [[nodiscard]] std::string canonical() const override {
+    std::ostringstream os;
+    os << "pqueue:";
+    for (const auto v : items_) os << v << ',';
+    return os.str();
+  }
+
+  void fingerprint_into(FpHasher& h) const override {
+    // std::multiset iterates in value order -- deterministic, matching
+    // canonical().
+    h.mix(kFpTag);
+    h.mix(items_.size());
+    for (const auto v : items_) h.mix_int(v);
+  }
+
+ private:
+  std::multiset<std::int64_t> items_;
+};
+
+}  // namespace
+
+const std::vector<OpSpec>& PriorityQueueType::ops() const { return pqueue_table().specs(); }
+
+const OpTable& PriorityQueueType::table() const { return pqueue_table(); }
+
+std::unique_ptr<ObjectState> PriorityQueueType::make_initial_state() const {
+  return std::make_unique<PQueueState>();
+}
+
+}  // namespace lintime::adt

@@ -1,0 +1,41 @@
+#pragma once
+// Min-priority queue -- added for the fast-path monitor work: it is the
+// fifth type with a known O(n log n) linearizability monitor on
+// unambiguous histories (arXiv:2410.04581), alongside register, set, queue
+// and stack.  Taxonomy-wise it sits between queue and stack: insert is a
+// commutative pure mutator (insertion order is irrelevant, only values
+// matter), while extract_min is a mixed pair-free operation whose result is
+// value- rather than time-ordered.
+//
+// Operations:
+//   insert(v)     -> nil                          (pure mutator, commutative)
+//   extract_min() -> smallest element, removed;   (mixed, pair-free)
+//                    nil if empty
+//   find_min()    -> smallest element; nil if     (pure accessor)
+//                    empty
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+
+namespace lintime::adt {
+
+class PriorityQueueType final : public DataType {
+ public:
+  [[nodiscard]] std::string name() const override { return "pqueue"; }
+  [[nodiscard]] const std::vector<OpSpec>& ops() const override;
+  [[nodiscard]] const OpTable& table() const override;
+  [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  [[nodiscard]] MonitorFamily monitor_family() const override {
+    return MonitorFamily::kPriorityQueue;
+  }
+
+  static constexpr const char* kInsert = "insert";
+  static constexpr const char* kExtractMin = "extract_min";
+  static constexpr const char* kFindMin = "find_min";
+};
+
+}  // namespace lintime::adt

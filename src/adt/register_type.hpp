@@ -23,6 +23,7 @@ class RegisterType final : public DataType {
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
   [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  [[nodiscard]] MonitorFamily monitor_family() const override { return MonitorFamily::kRegister; }
 
   static constexpr const char* kRead = "read";
   static constexpr const char* kWrite = "write";

@@ -28,6 +28,9 @@ class RmwRegisterType final : public DataType {
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
   [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  /// Restricted to read/write (the only ops the register family supports),
+  /// an RMW register *is* a register; fetch_add/swap histories fall back.
+  [[nodiscard]] MonitorFamily monitor_family() const override { return MonitorFamily::kRegister; }
 
   static constexpr const char* kRead = "read";
   static constexpr const char* kWrite = "write";

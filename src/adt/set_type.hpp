@@ -26,6 +26,7 @@ class SetType final : public DataType {
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
   [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  [[nodiscard]] MonitorFamily monitor_family() const override { return MonitorFamily::kSet; }
 
   static constexpr const char* kAdd = "add";
   static constexpr const char* kErase = "erase";

@@ -25,6 +25,7 @@ class StackType final : public DataType {
   [[nodiscard]] const std::vector<OpSpec>& ops() const override;
   [[nodiscard]] const OpTable& table() const override;
   [[nodiscard]] std::unique_ptr<ObjectState> make_initial_state() const override;
+  [[nodiscard]] MonitorFamily monitor_family() const override { return MonitorFamily::kStack; }
 
   static constexpr const char* kPush = "push";
   static constexpr const char* kPop = "pop";

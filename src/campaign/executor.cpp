@@ -8,7 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
-#include "lin/checker.hpp"
+#include "lin/check.hpp"
 
 namespace lintime::campaign {
 
@@ -56,10 +56,13 @@ JobResult run_one(const Job& job, std::size_t index, bool keep_record) {
       if (rec.complete()) result.latency_samples[rec.op].push_back(rec.latency());
     }
     if (job.check_linearizability) {
-      const auto check = lin::check_linearizability(*job.type, result.run.record);
-      result.metrics.verdict = check.linearizable ? JobMetrics::Verdict::kLinearizable
-                                                  : JobMetrics::Verdict::kViolation;
-      result.metrics.check_nodes_expanded = check.nodes_expanded;
+      const auto check = lin::check(*job.type, result.run.record);
+      result.metrics.verdict = check.result.linearizable ? JobMetrics::Verdict::kLinearizable
+                                                         : JobMetrics::Verdict::kViolation;
+      result.metrics.check_nodes_expanded = check.stats.nodes_expanded;
+      result.metrics.check_route = lin::to_string(check.stats.route);
+      result.metrics.check_memo_hits = check.stats.memo_hits;
+      result.metrics.check_memo_collisions = check.stats.memo_collisions;
     }
     result.ok = true;
     if (!keep_record) result.run.record = sim::RunRecord{};
@@ -134,6 +137,11 @@ CampaignMetrics CampaignResult::aggregate() const {
     if (job.metrics.verdict != JobMetrics::Verdict::kNotChecked) {
       ++out.jobs_checked;
       if (job.metrics.verdict == JobMetrics::Verdict::kLinearizable) ++out.jobs_linearizable;
+      if (job.metrics.check_route == "fast_path") {
+        ++out.jobs_fast_path;
+      } else {
+        ++out.jobs_fallback;
+      }
     }
     out.messages_sent += job.metrics.messages_sent;
     out.messages_dropped += job.metrics.messages_dropped;

@@ -50,6 +50,12 @@ struct JobMetrics {
   enum class Verdict { kNotChecked, kLinearizable, kViolation };
   Verdict verdict = Verdict::kNotChecked;
   std::size_t check_nodes_expanded = 0;  ///< checker search effort
+  /// How the verdict was produced: "fast_path" or "general" (empty when not
+  /// checked), plus the general search's memo statistics (zero on the fast
+  /// path, where no search runs).
+  std::string check_route;
+  std::size_t check_memo_hits = 0;
+  std::size_t check_memo_collisions = 0;
 };
 
 [[nodiscard]] constexpr const char* to_string(JobMetrics::Verdict v) {
@@ -73,6 +79,8 @@ struct CampaignMetrics {
   std::size_t jobs_failed = 0;       ///< job raised instead of completing
   std::size_t jobs_checked = 0;      ///< ran the linearizability checker
   std::size_t jobs_linearizable = 0;
+  std::size_t jobs_fast_path = 0;    ///< verdicts from the log-linear monitors
+  std::size_t jobs_fallback = 0;     ///< verdicts from the general search
   std::size_t messages_sent = 0;
   std::size_t messages_dropped = 0;
 };

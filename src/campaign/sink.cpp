@@ -117,6 +117,9 @@ void write_json(std::ostream& os, const CampaignResult& result) {
       os << ",\"verdict\":\"" << to_string(m.verdict) << "\"";
       if (m.verdict != JobMetrics::Verdict::kNotChecked) {
         os << ",\"check_nodes_expanded\":" << m.check_nodes_expanded;
+        os << ",\"check_route\":\"" << json_escape(m.check_route) << "\"";
+        os << ",\"check_memo_hits\":" << m.check_memo_hits;
+        os << ",\"check_memo_collisions\":" << m.check_memo_collisions;
       }
       os << ",\"latency\":";
       write_op_map(os, m.ops);
@@ -130,6 +133,8 @@ void write_json(std::ostream& os, const CampaignResult& result) {
   os << ",\"jobs_failed\":" << agg.jobs_failed;
   os << ",\"jobs_checked\":" << agg.jobs_checked;
   os << ",\"jobs_linearizable\":" << agg.jobs_linearizable;
+  os << ",\"jobs_fast_path\":" << agg.jobs_fast_path;
+  os << ",\"jobs_fallback\":" << agg.jobs_fallback;
   os << ",\"messages_sent\":" << agg.messages_sent;
   os << ",\"messages_dropped\":" << agg.messages_dropped;
   os << ",\"latency\":";

@@ -1,0 +1,66 @@
+#pragma once
+// Unified checking facade: the one entry point harness, campaign and bench
+// call.  Routes each history through the ambiguity classifier
+// (lin/fast/classifier.hpp): unambiguous histories of a type with a monitor
+// family get the O(n log n) verdict, everything else falls back to the
+// general Wing-Gong search (lin/checker.hpp).  The routing decision and the
+// search-effort statistics travel with the verdict so campaigns can report
+// fast-path vs. fallback dispatch counts without re-deriving them.
+
+#include <string>
+
+#include "adt/data_type.hpp"
+#include "lin/checker.hpp"
+#include "sim/run_record.hpp"
+
+namespace lintime::lin {
+
+enum class CheckRoute {
+  kFastPath,  ///< decided by the family monitor (no witness)
+  kGeneral,   ///< decided by the Wing-Gong search
+};
+
+[[nodiscard]] constexpr const char* to_string(CheckRoute r) {
+  switch (r) {
+    case CheckRoute::kFastPath: return "fast_path";
+    case CheckRoute::kGeneral: return "general";
+  }
+  return "?";
+}
+
+/// How the verdict was produced, and at what cost.
+struct CheckStats {
+  CheckRoute route = CheckRoute::kGeneral;
+  /// Monitor family that decided (fast path) -- kNone on the general route.
+  adt::MonitorFamily family = adt::MonitorFamily::kNone;
+  /// Why the general checker ran (empty on the fast path).
+  std::string fallback_reason;
+  /// General-search statistics; all zero on the fast path.
+  std::size_t nodes_expanded = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_collisions = 0;
+};
+
+struct CheckReport {
+  CheckResult result;
+  CheckStats stats;
+};
+
+struct FacadeOptions {
+  CheckOptions general;          ///< knobs for the fallback search
+  bool allow_fast_path = true;   ///< false forces the general checker
+  bool require_witness = false;  ///< witnesses only come from the general
+                                 ///< search, so this forces it too
+};
+
+/// Checks `ops` against `type`, fast path when the classifier admits it.
+/// Same contract as check_linearizability: throws std::invalid_argument on
+/// incomplete records (which always route to the general checker first).
+[[nodiscard]] CheckReport check(const adt::DataType& type, const std::vector<sim::OpRecord>& ops,
+                                const FacadeOptions& options = {});
+
+/// Convenience: checks an entire recorded run.
+[[nodiscard]] CheckReport check(const adt::DataType& type, const sim::RunRecord& record,
+                                const FacadeOptions& options = {});
+
+}  // namespace lintime::lin

@@ -36,6 +36,8 @@ class Search {
     result.linearizable = dfs(*initial_, 0);
     result.witness = witness_;
     result.nodes_expanded = nodes_.value();
+    result.memo_hits = memo_.hits();
+    result.memo_collisions = memo_.collisions();
     return result;
   }
 

@@ -28,6 +28,11 @@ struct CheckResult {
   std::vector<std::size_t> witness;
   /// Search-effort statistic: DFS nodes expanded.
   std::size_t nodes_expanded = 0;
+  /// Memo-table statistics: lookups that pruned a subtree, and fingerprint
+  /// collisions (key matched, canonical state differed).  Zero when the memo
+  /// is disabled.
+  std::size_t memo_hits = 0;
+  std::size_t memo_collisions = 0;
 
   /// Human-readable rendering of the witness against the given ops.
   [[nodiscard]] std::string witness_to_string(const std::vector<sim::OpRecord>& ops) const;

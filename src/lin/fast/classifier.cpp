@@ -1,0 +1,133 @@
+#include "lin/fast/classifier.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "adt/register_type.hpp"
+#include "lin/fast/registry.hpp"
+
+namespace lintime::lin::fast {
+
+namespace {
+
+Classification fallback(adt::MonitorFamily family, std::string reason) {
+  Classification c;
+  c.family = family;
+  c.reason = std::move(reason);
+  return c;
+}
+
+/// Operations of one process must have strictly-gapped intervals
+/// (prev.response < next.invoke); then interval order subsumes program
+/// order and the monitors need only the former.  Zero-gap boundaries are
+/// exactly the case the general checker's uid tiebreak exists for.
+bool strictly_gapped_per_process(const std::vector<sim::OpRecord>& ops) {
+  std::vector<std::size_t> order(ops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&ops](std::size_t a, std::size_t b) {
+    if (ops[a].proc != ops[b].proc) return ops[a].proc < ops[b].proc;
+    if (ops[a].invoke_real != ops[b].invoke_real) return ops[a].invoke_real < ops[b].invoke_real;
+    return ops[a].uid < ops[b].uid;
+  });
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const auto& prev = ops[order[k - 1]];
+    const auto& next = ops[order[k]];
+    if (prev.proc == next.proc && !(prev.response_real < next.invoke_real)) return false;
+  }
+  return true;
+}
+
+/// The family's "distinct mutator" condition: the args of `mutator`-named
+/// operations are pairwise distinct.  Returns the offending arg count.
+bool mutator_args_distinct(const std::vector<sim::OpRecord>& ops, const std::string& mutator) {
+  std::map<adt::Value, std::uint32_t> seen;  // ordered: deterministic, O(n log n)
+  for (const auto& r : ops) {
+    if (r.op != mutator) continue;
+    if (++seen[r.arg] > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Classification classify(const adt::DataType& type, const std::vector<sim::OpRecord>& ops) {
+  const adt::MonitorFamily family = type.monitor_family();
+  if (family == adt::MonitorFamily::kNone) {
+    return fallback(family, "type '" + type.name() + "' declares no monitor family");
+  }
+  const MonitorEntry* entry = MonitorRegistry::instance().find(family);
+  if (entry == nullptr) {
+    return fallback(family, std::string("no monitor registered for family '") +
+                                adt::to_string(family) + "'");
+  }
+  if (ops.empty()) {
+    return fallback(family, "empty history (general checker is trivial)");
+  }
+  for (const auto& r : ops) {
+    if (!r.complete()) {
+      return fallback(family, "incomplete operation record '" + r.op + "'");
+    }
+  }
+  for (const auto& r : ops) {
+    const bool supported = std::find(entry->supported_ops.begin(), entry->supported_ops.end(),
+                                     r.op) != entry->supported_ops.end();
+    if (!supported) {
+      return fallback(family, "operation '" + r.op + "' is outside the " +
+                                  std::string(adt::to_string(family)) +
+                                  " monitor's supported set");
+    }
+  }
+  if (!strictly_gapped_per_process(ops)) {
+    return fallback(family, "zero-gap or overlapping intervals within one process");
+  }
+  // Family-specific distinct-value conditions.  supported_ops[0] is by
+  // convention the distinct-args mutator for every family but register
+  // (see registry.cpp); spelled out per family for clarity.
+  switch (family) {
+    case adt::MonitorFamily::kRegister: {
+      if (!mutator_args_distinct(ops, adt::RegisterType::kWrite)) {
+        return fallback(family, "duplicate written value (ambiguous read matching)");
+      }
+      // A write of the initial value would make reads of it ambiguous
+      // between the initial cluster and the write's cluster.
+      const auto initial = type.initial_state();
+      const adt::Value v0 = initial->apply(adt::RegisterType::kRead, adt::Value::nil());
+      for (const auto& r : ops) {
+        if (r.op == adt::RegisterType::kWrite && r.arg == v0) {
+          return fallback(family, "write of the initial value " + v0.to_string() +
+                                      " (ambiguous with the initial cluster)");
+        }
+      }
+      break;
+    }
+    case adt::MonitorFamily::kQueue:
+      if (!mutator_args_distinct(ops, entry->supported_ops[0])) {
+        return fallback(family, "duplicate enqueued value");
+      }
+      break;
+    case adt::MonitorFamily::kStack:
+      if (!mutator_args_distinct(ops, entry->supported_ops[0])) {
+        return fallback(family, "duplicate pushed value");
+      }
+      break;
+    case adt::MonitorFamily::kSet:
+      if (!mutator_args_distinct(ops, entry->supported_ops[0])) {
+        return fallback(family, "value added more than once");
+      }
+      break;
+    case adt::MonitorFamily::kPriorityQueue:
+      if (!mutator_args_distinct(ops, entry->supported_ops[0])) {
+        return fallback(family, "duplicate inserted value");
+      }
+      break;
+    case adt::MonitorFamily::kNone:
+      break;  // unreachable: handled above
+  }
+  Classification c;
+  c.eligible = true;
+  c.family = family;
+  return c;
+}
+
+}  // namespace lintime::lin::fast

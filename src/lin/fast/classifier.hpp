@@ -1,0 +1,35 @@
+#pragma once
+// Ambiguity classifier (the routing test of arXiv:2509.17795 made
+// executable for this library's types): decides, in O(n log n), whether a
+// concrete history satisfies the unambiguity precondition of its type's
+// monitor family.  Eligible histories are decided by the log-linear
+// monitors (lin/fast/monitors.hpp); everything else -- unsupported
+// operations, duplicate mutator values, zero-gap process-local intervals,
+// types without a family -- routes to the general Wing-Gong checker.
+//
+// The classifier is deliberately conservative: it only answers "fast" when
+// the monitor's exactness proof applies.  A "fallback" answer is never a
+// verdict about linearizability, only about which checker must decide.
+
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "sim/run_record.hpp"
+
+namespace lintime::lin::fast {
+
+struct Classification {
+  bool eligible = false;
+  adt::MonitorFamily family = adt::MonitorFamily::kNone;
+  /// Why the history must fall back (empty when eligible).
+  std::string reason;
+};
+
+/// Classifies `ops` against `type`'s monitor family.  Never throws on
+/// malformed histories: incomplete records simply classify as fallback, and
+/// the general checker then reports them with its usual exception.
+[[nodiscard]] Classification classify(const adt::DataType& type,
+                                      const std::vector<sim::OpRecord>& ops);
+
+}  // namespace lintime::lin::fast

@@ -1,0 +1,161 @@
+#include "lin/fast/history_gen.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "adt/pqueue_type.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "adt/set_type.hpp"
+#include "adt/stack_type.hpp"
+
+namespace lintime::lin::fast {
+
+namespace {
+
+/// Injective scramble of the fresh-value counter, so priority-queue inserts
+/// arrive in "random" value order while staying pairwise distinct.
+[[nodiscard]] std::int64_t scrambled(std::uint64_t counter) {
+  return static_cast<std::int64_t>(counter * 0x9e3779b97f4a7c15ULL);
+}
+
+struct OpChoice {
+  std::string op;
+  adt::Value arg;
+};
+
+[[nodiscard]] OpChoice choose_op(adt::MonitorFamily family, std::mt19937_64& rng,
+                                 std::uint64_t& counter) {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  switch (family) {
+    case adt::MonitorFamily::kRegister:
+      if (u01(rng) < 0.4) return {adt::RegisterType::kWrite, adt::Value(static_cast<std::int64_t>(++counter))};
+      return {adt::RegisterType::kRead, adt::Value::nil()};
+    case adt::MonitorFamily::kQueue:
+      if (u01(rng) < 0.55) return {adt::QueueType::kEnqueue, adt::Value(static_cast<std::int64_t>(++counter))};
+      return {adt::QueueType::kDequeue, adt::Value::nil()};
+    case adt::MonitorFamily::kStack:
+      if (u01(rng) < 0.55) return {adt::StackType::kPush, adt::Value(static_cast<std::int64_t>(++counter))};
+      return {adt::StackType::kPop, adt::Value::nil()};
+    case adt::MonitorFamily::kSet:
+      if (u01(rng) < 0.45) return {adt::SetType::kAdd, adt::Value(static_cast<std::int64_t>(++counter))};
+      return {adt::SetType::kContains,
+              adt::Value(static_cast<std::int64_t>(rng() % (2 * counter + 5)))};
+    case adt::MonitorFamily::kPriorityQueue:
+      if (u01(rng) < 0.55) return {adt::PriorityQueueType::kInsert, adt::Value(scrambled(++counter))};
+      return {adt::PriorityQueueType::kExtractMin, adt::Value::nil()};
+    case adt::MonitorFamily::kNone: break;
+  }
+  throw std::invalid_argument("generate_unambiguous: type has no monitor family");
+}
+
+}  // namespace
+
+std::vector<sim::OpRecord> generate_unambiguous(const adt::DataType& type,
+                                                const GenOptions& options) {
+  const auto family = type.monitor_family();
+  if (family == adt::MonitorFamily::kNone) {
+    throw std::invalid_argument("generate_unambiguous: type has no monitor family");
+  }
+  if (options.procs < 1) throw std::invalid_argument("generate_unambiguous: procs < 1");
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  auto state = type.initial_state();
+  std::uint64_t counter = 0;
+
+  // Linearization point of op k is t = k + 1; each interval strictly
+  // contains its point, and per-process response->invoke gaps stay strict
+  // because response jitter (< 0.55) plus think time (< 0.3) is below the
+  // 1.0 point spacing.  Strictly increasing points inside intervals ==
+  // linearizable by construction.
+  std::vector<sim::Time> proc_avail(static_cast<std::size_t>(options.procs), 0.0);
+  std::vector<sim::OpRecord> ops;
+  ops.reserve(options.total_ops);
+  for (std::size_t k = 0; k < options.total_ops; ++k) {
+    const sim::Time point = static_cast<sim::Time>(k) + 1.0;
+    const auto proc = static_cast<sim::ProcId>(rng() % static_cast<std::uint64_t>(options.procs));
+    auto& avail = proc_avail[static_cast<std::size_t>(proc)];
+
+    sim::OpRecord r;
+    r.proc = proc;
+    r.uid = k;
+    auto choice = choose_op(family, rng, counter);
+    r.op = std::move(choice.op);
+    r.arg = std::move(choice.arg);
+    r.ret = state->apply(r.op, r.arg);
+    r.invoke_real = avail + u01(rng) * (point - avail - 0.01);
+    r.response_real = point + 0.05 + u01(rng) * 0.5;
+    avail = r.response_real + 0.05 + u01(rng) * 0.25;
+    ops.push_back(std::move(r));
+  }
+  return ops;
+}
+
+void append_impossible_observation(const adt::DataType& type, std::vector<sim::OpRecord>& ops) {
+  sim::Time end = 0;
+  std::uint64_t max_uid = 0;
+  for (const auto& r : ops) {
+    end = std::max(end, r.response_real);
+    max_uid = std::max(max_uid, r.uid);
+  }
+  sim::OpRecord r;
+  r.proc = 0;
+  r.uid = max_uid + 1;
+  r.invoke_real = end + 1.0;
+  r.response_real = end + 2.0;
+  // A fresh value no generated argument can collide with: generated ints are
+  // counters or counter scrambles, never this sentinel.
+  const adt::Value fresh(static_cast<std::int64_t>(-0x5EC4E7));
+  switch (type.monitor_family()) {
+    case adt::MonitorFamily::kRegister:
+      r.op = adt::RegisterType::kRead;
+      r.arg = adt::Value::nil();
+      r.ret = fresh;
+      break;
+    case adt::MonitorFamily::kQueue:
+      r.op = adt::QueueType::kDequeue;
+      r.arg = adt::Value::nil();
+      r.ret = fresh;
+      break;
+    case adt::MonitorFamily::kStack:
+      r.op = adt::StackType::kPop;
+      r.arg = adt::Value::nil();
+      r.ret = fresh;
+      break;
+    case adt::MonitorFamily::kSet:
+      r.op = adt::SetType::kContains;
+      r.arg = fresh;
+      r.ret = adt::Value(std::int64_t{1});
+      break;
+    case adt::MonitorFamily::kPriorityQueue:
+      r.op = adt::PriorityQueueType::kExtractMin;
+      r.arg = adt::Value::nil();
+      r.ret = fresh;
+      break;
+    case adt::MonitorFamily::kNone:
+      throw std::invalid_argument("append_impossible_observation: type has no monitor family");
+  }
+  ops.push_back(std::move(r));
+}
+
+bool swap_two_returns(std::vector<sim::OpRecord>& ops, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Candidates: records with non-nil returns, grouped by op name so the swap
+  // keeps each record's (op, arg) shape classifier-eligible.
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].ret.is_nil()) idx.push_back(i);
+  }
+  for (int attempt = 0; attempt < 64 && idx.size() >= 2; ++attempt) {
+    const auto a = idx[rng() % idx.size()];
+    const auto b = idx[rng() % idx.size()];
+    if (a == b || ops[a].op != ops[b].op || ops[a].ret == ops[b].ret) continue;
+    std::swap(ops[a].ret, ops[b].ret);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lintime::lin::fast

@@ -1,0 +1,42 @@
+#pragma once
+// Seeded generator of large unambiguous histories for the fast-path
+// monitors: linearizable by construction (operations get strictly
+// increasing linearization points, each strictly inside its own interval,
+// and returns come from replaying the type's own state machine), with
+// strict per-process gaps and distinct mutator arguments so the ambiguity
+// classifier always answers "fast".  Drives the 10^6-op checker benchmarks
+// and the long_history / differential test tiers.
+
+#include <cstdint>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "sim/run_record.hpp"
+
+namespace lintime::lin::fast {
+
+struct GenOptions {
+  int procs = 4;
+  std::size_t total_ops = 1000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a linearizable, classifier-eligible history for `type`, whose
+/// monitor_family() must not be kNone (throws std::invalid_argument
+/// otherwise).
+[[nodiscard]] std::vector<sim::OpRecord> generate_unambiguous(const adt::DataType& type,
+                                                              const GenOptions& options);
+
+/// Appends one observation no linearization can explain -- a read / pop /
+/// dequeue / extract of a value never written, a contains->1 of a value
+/// never added -- making the history non-linearizable while keeping it
+/// classifier-eligible (complete, strict gaps, distinct mutator args).
+void append_impossible_observation(const adt::DataType& type, std::vector<sim::OpRecord>& ops);
+
+/// Swaps the return values of two randomly chosen same-operation records
+/// (seeded).  The result may or may not stay linearizable -- useful for
+/// differential verdict-agreement tests.  Returns false when no swappable
+/// pair exists (fewer than two non-nil same-op returns).
+[[nodiscard]] bool swap_two_returns(std::vector<sim::OpRecord>& ops, std::uint64_t seed);
+
+}  // namespace lintime::lin::fast

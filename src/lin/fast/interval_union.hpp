@@ -1,0 +1,96 @@
+#pragma once
+// Internal machinery for the log-linear monitors (lin/fast/): a union of
+// open time intervals with coverage queries, and a prefix-max Fenwick tree
+// over compressed coordinates.  Both are pure, ordered-container-based and
+// deterministic (detlint-clean by construction).
+//
+// Open-interval semantics matter for exactness: a "certain presence" window
+// (enq(v).resp, deq(v).inv) excludes its endpoints, because linearization
+// points at exactly those times can be ordered on either side of the
+// endpoint operation.  Two presence windows that merely touch, (a,b) and
+// (b,c), therefore leave the single instant b uncovered -- an empty-remove
+// whose interval contains b is satisfiable there, so the union must NOT
+// merge them.
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sim/model_params.hpp"
+
+namespace lintime::lin::fast {
+
+/// Union of open intervals (a, b) over sim::Time, with closed-interval
+/// coverage queries.  Insertion merges strictly-overlapping intervals only
+/// (touching endpoints stay distinct); amortized O(log n) per add.
+class IntervalUnion {
+ public:
+  /// Adds the open interval (a, b); ignored when empty (a >= b).
+  void add(sim::Time a, sim::Time b) {
+    if (!(a < b)) return;
+    // Absorb every existing interval that strictly overlaps (a, b), growing
+    // [a, b) to the union's hull.  An existing (s, e) overlaps iff s < b and
+    // a < e.
+    auto it = merged_.upper_bound(a);  // first start > a
+    if (it != merged_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second > a) {  // open overlap on the left
+        a = prev->first;
+        b = std::max(b, prev->second);
+        it = merged_.erase(prev);
+      }
+    }
+    while (it != merged_.end() && it->first < b) {
+      b = std::max(b, it->second);
+      it = merged_.erase(it);
+    }
+    merged_.emplace(a, b);
+  }
+
+  /// True iff the closed interval [x, y] lies inside one merged open
+  /// interval (the only way a union of opens can cover a closed set).
+  [[nodiscard]] bool covers(sim::Time x, sim::Time y) const {
+    const auto it = merged_.upper_bound(x);  // first start > x; candidate is its predecessor
+    if (it == merged_.begin()) return false;
+    const auto cand = std::prev(it);
+    return cand->first < x && y < cand->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return merged_.size(); }
+
+  static constexpr sim::Time kInf = std::numeric_limits<sim::Time>::infinity();
+
+ private:
+  std::map<sim::Time, sim::Time> merged_;  ///< start -> end, disjoint, non-touching-merged
+};
+
+/// Fenwick tree over [0, n) supporting point max-update and prefix-max
+/// query -- the offline 2-D dominance engine behind the stack monitor's
+/// LIFO-pattern sweep.
+class PrefixMaxFenwick {
+ public:
+  explicit PrefixMaxFenwick(std::size_t n)
+      : tree_(n + 1, -std::numeric_limits<sim::Time>::infinity()) {}
+
+  /// Raises position `i` (0-based) to at least `v`.
+  void raise(std::size_t i, sim::Time v) {
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+      if (tree_[k] < v) tree_[k] = v;
+    }
+  }
+
+  /// Max over positions [0, i) (0-based, exclusive); -inf when empty.
+  [[nodiscard]] sim::Time prefix_max(std::size_t i) const {
+    sim::Time best = -std::numeric_limits<sim::Time>::infinity();
+    for (std::size_t k = std::min(i, tree_.size() - 1); k > 0; k -= k & (~k + 1)) {
+      if (tree_[k] > best) best = tree_[k];
+    }
+    return best;
+  }
+
+ private:
+  std::vector<sim::Time> tree_;
+};
+
+}  // namespace lintime::lin::fast

@@ -1,0 +1,105 @@
+// Queue monitor.  For complete histories with distinct enqueued values the
+// queue violations are exactly the four local patterns (the queue axioms
+// underlying arXiv:2410.04581's monitor):
+//
+//   V1  a dequeue returns a value never enqueued, or a value twice, or its
+//       enqueue returns non-nil;
+//   V2  a dequeue precedes its own enqueue;
+//   V3  a dequeued value's enqueue is forced after the enqueue of a value
+//       that is never dequeued (the stuck value would have to come out
+//       first);
+//   V4  a FIFO inversion is forced: enq(a) < enq(b) and deq(b) < deq(a);
+//   V5  an empty dequeue's interval is covered by the union of
+//       certain-presence windows (enq(v).response, deq(v).invoke).
+//
+// V4 is a prefix-max sweep over pairs sorted by enqueue response; V5 is an
+// open-interval union query.  Everything is O(n log n).
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "adt/queue_type.hpp"
+#include "lin/fast/interval_union.hpp"
+#include "lin/fast/monitors.hpp"
+
+namespace lintime::lin::fast {
+
+namespace {
+
+constexpr sim::Time kInf = std::numeric_limits<sim::Time>::infinity();
+
+struct ValuePair {
+  const sim::OpRecord* enq = nullptr;
+  const sim::OpRecord* deq = nullptr;
+};
+
+}  // namespace
+
+bool monitor_queue(const adt::DataType& /*type*/, const std::vector<sim::OpRecord>& ops) {
+  std::map<adt::Value, ValuePair> byval;
+  std::vector<const sim::OpRecord*> empties;
+  for (const auto& r : ops) {
+    if (r.op == adt::QueueType::kEnqueue) {
+      if (!r.ret.is_nil()) return false;  // V1
+      byval[r.arg].enq = &r;
+    } else {  // dequeue
+      if (r.ret.is_nil()) {
+        empties.push_back(&r);
+        continue;
+      }
+      auto& p = byval[r.ret];
+      if (p.deq != nullptr) return false;  // V1: value dequeued twice
+      p.deq = &r;
+    }
+  }
+
+  sim::Time stuck_min_resp = kInf;  // earliest response among never-dequeued enqueues
+  for (const auto& [v, p] : byval) {
+    if (p.enq == nullptr) return false;                                      // V1
+    if (p.deq == nullptr) stuck_min_resp = std::min(stuck_min_resp, p.enq->response_real);
+  }
+  std::vector<ValuePair> matched;
+  matched.reserve(byval.size());
+  for (const auto& [v, p] : byval) {
+    if (p.deq == nullptr) continue;
+    if (p.deq->response_real < p.enq->invoke_real) return false;  // V2
+    if (p.enq->invoke_real > stuck_min_resp) return false;        // V3
+    matched.push_back(p);
+  }
+
+  // V4: sort by enqueue response; for each b, the a's with
+  // enq(a).response < enq(b).invoke form a prefix, and a forced inversion
+  // exists iff some such a has deq(a).invoke > deq(b).response.
+  std::sort(matched.begin(), matched.end(), [](const ValuePair& a, const ValuePair& b) {
+    return a.enq->response_real < b.enq->response_real;
+  });
+  std::vector<sim::Time> enq_resp(matched.size());
+  std::vector<sim::Time> prefix_max_deq_inv(matched.size() + 1, -kInf);
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    enq_resp[i] = matched[i].enq->response_real;
+    prefix_max_deq_inv[i + 1] =
+        std::max(prefix_max_deq_inv[i], matched[i].deq->invoke_real);
+  }
+  for (const auto& b : matched) {
+    const auto prefix = static_cast<std::size_t>(
+        std::lower_bound(enq_resp.begin(), enq_resp.end(), b.enq->invoke_real) -
+        enq_resp.begin());
+    if (prefix_max_deq_inv[prefix] > b.deq->response_real) return false;
+  }
+
+  // V5: empty dequeues vs. the union of certain-presence windows.
+  if (!empties.empty()) {
+    IntervalUnion presence;
+    for (const auto& [v, p] : byval) {
+      presence.add(p.enq->response_real, p.deq != nullptr ? p.deq->invoke_real : kInf);
+    }
+    for (const auto* d : empties) {
+      if (presence.covers(d->invoke_real, d->response_real)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lintime::lin::fast

@@ -1,0 +1,49 @@
+#pragma once
+// MonitorRegistry: the dispatch table from adt::MonitorFamily to the
+// family's log-linear monitor.  One immutable process-wide instance; the
+// lin::check() facade consults it, the classifier reads the supported-op
+// sets from it, and the README's checker table is generated from the same
+// entries (name, supported ops, complexity).
+
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "sim/run_record.hpp"
+
+namespace lintime::lin::fast {
+
+/// A family monitor: exact verdict for histories satisfying the family's
+/// unambiguity precondition (see monitors.hpp).
+using MonitorFn = bool (*)(const adt::DataType&, const std::vector<sim::OpRecord>&);
+
+struct MonitorEntry {
+  adt::MonitorFamily family = adt::MonitorFamily::kNone;
+  /// Operation names the monitor understands; a history using any other
+  /// operation of the type falls back to the general checker.
+  std::vector<std::string> supported_ops;
+  /// Human-readable unambiguity precondition (docs + fallback messages).
+  std::string precondition;
+  /// Worst-case complexity, for the README table.
+  std::string complexity;
+  MonitorFn run = nullptr;
+};
+
+class MonitorRegistry {
+ public:
+  /// The monitor for `family`, or nullptr when none is registered
+  /// (kNone and any future family without a monitor).
+  [[nodiscard]] const MonitorEntry* find(adt::MonitorFamily family) const;
+
+  /// All registered monitors, in a fixed order (docs, tests).
+  [[nodiscard]] const std::vector<MonitorEntry>& entries() const { return entries_; }
+
+  /// The process-wide registry (immutable after construction).
+  [[nodiscard]] static const MonitorRegistry& instance();
+
+ private:
+  MonitorRegistry();
+  std::vector<MonitorEntry> entries_;
+};
+
+}  // namespace lintime::lin::fast

@@ -1,0 +1,69 @@
+// Set monitor.  Restricted to add/contains with at-most-once adds, values
+// are fully independent: no supported accessor observes more than one value
+// (size/add_if_absent route to the general checker).  A history is
+// linearizable iff every operation can be assigned a linearization point
+// inside its own interval such that, per value v, all contains(v)->0 points
+// precede add(v)'s point and all contains(v)->1 points follow it -- a
+// global point assignment IS a linearization (interval order is respected
+// pointwise), so the per-value feasibility test below is exact, not an
+// approximation.  O(n log n) from the value grouping alone.
+
+#include <limits>
+#include <map>
+
+#include "adt/set_type.hpp"
+#include "lin/fast/monitors.hpp"
+
+namespace lintime::lin::fast {
+
+namespace {
+
+constexpr sim::Time kInf = std::numeric_limits<sim::Time>::infinity();
+
+struct PerValue {
+  const sim::OpRecord* add = nullptr;
+  sim::Time max_r0_invoke = -kInf;  ///< contains->0: point must follow nothing, precede add
+  sim::Time min_r1_response = kInf;  ///< contains->1: point must follow add
+  bool has_r1 = false;
+};
+
+}  // namespace
+
+bool monitor_set(const adt::DataType& /*type*/, const std::vector<sim::OpRecord>& ops) {
+  std::map<adt::Value, PerValue> byval;
+  for (const auto& r : ops) {
+    if (r.op == adt::SetType::kAdd) {
+      if (!r.ret.is_nil()) return false;
+      byval[r.arg].add = &r;
+      continue;
+    }
+    // contains
+    if (!r.ret.is_int()) return false;
+    const auto bit = r.ret.as_int();
+    if (bit != 0 && bit != 1) return false;
+    auto& s = byval[r.arg];
+    if (bit == 1) {
+      s.has_r1 = true;
+      s.min_r1_response = std::min(s.min_r1_response, r.response_real);
+    } else {
+      s.max_r0_invoke = std::max(s.max_r0_invoke, r.invoke_real);
+    }
+  }
+  for (const auto& [v, s] : byval) {
+    if (s.add == nullptr) {
+      if (s.has_r1) return false;  // contains->1 without an add
+      continue;
+    }
+    // Need a permutation with every contains->0 before the add and every
+    // contains->1 after it.  An ordering a-before-b is impossible only when
+    // forced strictly opposite (b.response < a.invoke), so each rejection
+    // below is strict -- exact boundary ties stay feasible, matching the
+    // general checker's interval order.
+    if (s.max_r0_invoke > s.add->response_real) return false;   // add forced before a ->0
+    if (s.min_r1_response < s.add->invoke_real) return false;   // a ->1 forced before add
+    if (s.min_r1_response < s.max_r0_invoke) return false;      // a ->1 forced before a ->0
+  }
+  return true;
+}
+
+}  // namespace lintime::lin::fast

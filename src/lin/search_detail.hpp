@@ -105,7 +105,13 @@ class StateMemo {
                                 const adt::Fingerprint& fp, const adt::ObjectState& state) {
     build_key(placed, fp);
     const auto it = dead_.find(scratch_key_);
-    return it != dead_.end() && it->second == state.canonical();
+    if (it == dead_.end()) return false;
+    if (it->second == state.canonical()) {
+      ++hits_;
+      return true;
+    }
+    ++collisions_;
+    return false;
   }
 
   void mark_dead(const std::vector<std::uint64_t>& placed, const adt::Fingerprint& fp,
@@ -113,6 +119,9 @@ class StateMemo {
     build_key(placed, fp);
     dead_.try_emplace(scratch_key_, state.canonical());
   }
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t collisions() const { return collisions_; }
 
  private:
   struct KeyHash {
@@ -133,6 +142,8 @@ class StateMemo {
 
   std::vector<std::uint64_t> scratch_key_;  ///< reused across lookups: no per-node allocation
   std::unordered_map<std::vector<std::uint64_t>, std::string, KeyHash> dead_;
+  std::size_t hits_ = 0;        ///< lookups pruned (key and canonical both matched)
+  std::size_t collisions_ = 0;  ///< key matched but canonical differed (fingerprint collision)
 };
 
 /// Per-depth scratch states for the DFS probe loop.  When the data type's

@@ -1,0 +1,79 @@
+// Sequential semantics of the min-priority queue.
+
+#include "adt/pqueue_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lintime::adt {
+namespace {
+
+TEST(PQueueTest, ExtractMinEmptyReturnsNil) {
+  PriorityQueueType pq;
+  auto s = pq.make_initial_state();
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value::nil());
+}
+
+TEST(PQueueTest, FindMinEmptyReturnsNil) {
+  PriorityQueueType pq;
+  auto s = pq.make_initial_state();
+  EXPECT_EQ(s->apply("find_min", Value::nil()), Value::nil());
+}
+
+TEST(PQueueTest, ExtractsInValueOrder) {
+  PriorityQueueType pq;
+  auto s = pq.make_initial_state();
+  s->apply("insert", 5);
+  s->apply("insert", 1);
+  s->apply("insert", 3);
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value{1});
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value{3});
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value{5});
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value::nil());
+}
+
+TEST(PQueueTest, FindMinDoesNotRemove) {
+  PriorityQueueType pq;
+  auto s = pq.make_initial_state();
+  s->apply("insert", 2);
+  s->apply("insert", 7);
+  EXPECT_EQ(s->apply("find_min", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("find_min", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value{2});
+  EXPECT_EQ(s->apply("find_min", Value::nil()), Value{7});
+}
+
+TEST(PQueueTest, DuplicatesAreMultiset) {
+  PriorityQueueType pq;
+  auto s = pq.make_initial_state();
+  s->apply("insert", 4);
+  s->apply("insert", 4);
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value{4});
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value{4});
+  EXPECT_EQ(s->apply("extract_min", Value::nil()), Value::nil());
+}
+
+TEST(PQueueTest, InsertReturnsNilAndCanonicalIsSorted) {
+  PriorityQueueType pq;
+  auto s = pq.make_initial_state();
+  EXPECT_EQ(s->apply("insert", 9), Value::nil());
+  EXPECT_EQ(s->apply("insert", 2), Value::nil());
+  EXPECT_EQ(s->canonical(), "pqueue:2,9,");
+}
+
+TEST(PQueueTest, FingerprintTracksState) {
+  PriorityQueueType pq;
+  auto a = pq.make_initial_state();
+  auto b = pq.make_initial_state();
+  a->apply("insert", 1);
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+  b->apply("insert", 1);
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+}
+
+TEST(PQueueTest, DeclaresPriorityQueueMonitorFamily) {
+  PriorityQueueType pq;
+  EXPECT_EQ(pq.monitor_family(), MonitorFamily::kPriorityQueue);
+}
+
+}  // namespace
+}  // namespace lintime::adt

@@ -1,0 +1,343 @@
+// Hand-crafted histories through the lin::check() facade: each case pins
+// the fast-path verdict AND cross-validates it against the general
+// Wing-Gong checker (allow_fast_path = false) on the same history.
+
+#include "lin/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/pqueue_type.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "adt/set_type.hpp"
+#include "adt/stack_type.hpp"
+
+namespace lintime::lin {
+namespace {
+
+using adt::Value;
+using sim::OpRecord;
+
+OpRecord op(sim::ProcId proc, const std::string& name, Value arg, Value ret, double inv,
+            double resp) {
+  OpRecord r;
+  r.proc = proc;
+  r.op = name;
+  r.arg = std::move(arg);
+  r.ret = std::move(ret);
+  r.invoke_real = inv;
+  r.response_real = resp;
+  return r;
+}
+
+/// Runs both routes and asserts the fast path was taken and both agree.
+bool both_routes(const adt::DataType& type, const std::vector<OpRecord>& h) {
+  const auto fast = check(type, h);
+  EXPECT_EQ(fast.stats.route, CheckRoute::kFastPath) << fast.stats.fallback_reason;
+  FacadeOptions general_only;
+  general_only.allow_fast_path = false;
+  const auto general = check(type, h, general_only);
+  EXPECT_EQ(general.stats.route, CheckRoute::kGeneral);
+  EXPECT_EQ(fast.result.linearizable, general.result.linearizable)
+      << "fast path and general checker disagree";
+  return fast.result.linearizable;
+}
+
+// --- register --------------------------------------------------------------
+
+TEST(FastMonitorTest, RegisterConcurrentReadDuringWrite) {
+  adt::RegisterType reg;
+  EXPECT_TRUE(both_routes(reg, {
+                                   op(0, "write", 1, Value::nil(), 0, 2),
+                                   op(1, "read", Value::nil(), 1, 0.5, 1.5),
+                                   op(2, "read", Value::nil(), 0, 0.6, 1.6),
+                               }));
+}
+
+TEST(FastMonitorTest, RegisterStaleReadAfterWrite) {
+  adt::RegisterType reg;
+  // read -> 0 strictly after the write of 1 completed: the initial cluster
+  // would have to follow the write's cluster.
+  EXPECT_FALSE(both_routes(reg, {
+                                    op(0, "write", 1, Value::nil(), 0, 1),
+                                    op(1, "read", Value::nil(), 0, 2, 3),
+                                }));
+}
+
+TEST(FastMonitorTest, RegisterTwoWriteCycle) {
+  adt::RegisterType reg;
+  // Reads force write(1) < write(2) and write(2) < write(1) simultaneously.
+  EXPECT_FALSE(both_routes(reg, {
+                                    op(0, "write", 1, Value::nil(), 0, 1),
+                                    op(1, "write", 2, Value::nil(), 0.2, 1.2),
+                                    op(2, "read", Value::nil(), 1, 2, 3),
+                                    op(3, "read", Value::nil(), 2, 4, 5),
+                                    op(2, "read", Value::nil(), 1, 6, 7),
+                                }));
+}
+
+TEST(FastMonitorTest, RegisterReadBeforeOwnWrite) {
+  adt::RegisterType reg;
+  EXPECT_FALSE(both_routes(reg, {
+                                    op(0, "read", Value::nil(), 5, 0, 1),
+                                    op(1, "write", 5, Value::nil(), 2, 3),
+                                }));
+}
+
+// --- queue -----------------------------------------------------------------
+
+TEST(FastMonitorTest, QueueFifoRespected) {
+  adt::QueueType q;
+  EXPECT_TRUE(both_routes(q, {
+                                 op(0, "enqueue", 1, Value::nil(), 0, 2),
+                                 op(1, "enqueue", 2, Value::nil(), 1, 3),
+                                 op(0, "dequeue", Value::nil(), 1, 3, 5),
+                                 op(1, "dequeue", Value::nil(), 2, 4, 6),
+                             }));
+}
+
+TEST(FastMonitorTest, QueueForcedFifoInversion) {
+  adt::QueueType q;
+  EXPECT_FALSE(both_routes(q, {
+                                  op(0, "enqueue", 1, Value::nil(), 0, 1),
+                                  op(0, "enqueue", 2, Value::nil(), 2, 3),
+                                  op(1, "dequeue", Value::nil(), 2, 4, 5),
+                                  op(1, "dequeue", Value::nil(), 1, 6, 7),
+                              }));
+}
+
+TEST(FastMonitorTest, QueueDequeueBeforeEnqueue) {
+  adt::QueueType q;
+  EXPECT_FALSE(both_routes(q, {
+                                  op(0, "dequeue", Value::nil(), 1, 0, 1),
+                                  op(1, "enqueue", 1, Value::nil(), 2, 3),
+                              }));
+}
+
+TEST(FastMonitorTest, QueueStuckValueViolation) {
+  adt::QueueType q;
+  // 1 is enqueued and never dequeued, fully before enqueue(2); dequeuing 2
+  // would have to skip over 1.
+  EXPECT_FALSE(both_routes(q, {
+                                  op(0, "enqueue", 1, Value::nil(), 0, 1),
+                                  op(0, "enqueue", 2, Value::nil(), 2, 3),
+                                  op(1, "dequeue", Value::nil(), 2, 4, 5),
+                              }));
+}
+
+TEST(FastMonitorTest, QueueEmptyDequeueLegalBetweenValues) {
+  adt::QueueType q;
+  EXPECT_TRUE(both_routes(q, {
+                                 op(0, "enqueue", 1, Value::nil(), 0, 1),
+                                 op(0, "dequeue", Value::nil(), 1, 2, 3),
+                                 op(1, "dequeue", Value::nil(), Value::nil(), 4, 5),
+                                 op(0, "enqueue", 2, Value::nil(), 6, 7),
+                                 op(1, "dequeue", Value::nil(), 2, 8, 9),
+                             }));
+}
+
+TEST(FastMonitorTest, QueueEmptyDequeueInsideCertainPresence) {
+  adt::QueueType q;
+  // 1 is certainly present on [1, 6] and the empty dequeue sits inside.
+  EXPECT_FALSE(both_routes(q, {
+                                  op(0, "enqueue", 1, Value::nil(), 0, 1),
+                                  op(1, "dequeue", Value::nil(), Value::nil(), 2, 3),
+                                  op(0, "dequeue", Value::nil(), 1, 6, 7),
+                              }));
+}
+
+TEST(FastMonitorTest, QueueEmptyDequeueAtTouchingBoundaryIsLegal) {
+  adt::QueueType q;
+  // Presence windows (1, 4) and (4, 8) touch at exactly 4: the order
+  // deq(1) . empty . enq(2) is still consistent (neither boundary pair is
+  // strictly ordered), so the empty dequeue is legal and the union must not
+  // have merged the windows.
+  EXPECT_TRUE(both_routes(q, {
+                                 op(0, "enqueue", 1, Value::nil(), 0, 1),
+                                 op(0, "dequeue", Value::nil(), 1, 4, 5),
+                                 op(2, "dequeue", Value::nil(), Value::nil(), 3.9, 4.1),
+                                 op(1, "enqueue", 2, Value::nil(), 3.6, 4),
+                                 op(1, "dequeue", Value::nil(), 2, 8, 9),
+                             }));
+}
+
+// --- stack -----------------------------------------------------------------
+
+TEST(FastMonitorTest, StackLifoRespected) {
+  adt::StackType s;
+  EXPECT_TRUE(both_routes(s, {
+                                 op(0, "push", 1, Value::nil(), 0, 1),
+                                 op(0, "push", 2, Value::nil(), 2, 3),
+                                 op(1, "pop", Value::nil(), 2, 4, 5),
+                                 op(1, "pop", Value::nil(), 1, 6, 7),
+                             }));
+}
+
+TEST(FastMonitorTest, StackForcedLifoInversion) {
+  adt::StackType s;
+  // push(1) < push(2) < pop(1) < pop(2): 2 certainly sits above 1.
+  EXPECT_FALSE(both_routes(s, {
+                                  op(0, "push", 1, Value::nil(), 0, 1),
+                                  op(0, "push", 2, Value::nil(), 2, 3),
+                                  op(1, "pop", Value::nil(), 1, 4, 5),
+                                  op(1, "pop", Value::nil(), 2, 6, 7),
+                              }));
+}
+
+TEST(FastMonitorTest, StackUnpoppedBlocker) {
+  adt::StackType s;
+  // Same, but 2 is never popped: still a forced inversion.
+  EXPECT_FALSE(both_routes(s, {
+                                  op(0, "push", 1, Value::nil(), 0, 1),
+                                  op(0, "push", 2, Value::nil(), 2, 3),
+                                  op(1, "pop", Value::nil(), 1, 4, 5),
+                              }));
+}
+
+TEST(FastMonitorTest, StackOverlappingPushesEitherOrder) {
+  adt::StackType s;
+  EXPECT_TRUE(both_routes(s, {
+                                 op(0, "push", 1, Value::nil(), 0, 2),
+                                 op(1, "push", 2, Value::nil(), 1, 3),
+                                 op(0, "pop", Value::nil(), 1, 4, 5),
+                                 op(1, "pop", Value::nil(), 2, 6, 7),
+                             }));
+}
+
+TEST(FastMonitorTest, StackEmptyPopInsideCertainPresence) {
+  adt::StackType s;
+  EXPECT_FALSE(both_routes(s, {
+                                  op(0, "push", 1, Value::nil(), 0, 1),
+                                  op(1, "pop", Value::nil(), Value::nil(), 2, 3),
+                                  op(0, "pop", Value::nil(), 1, 6, 7),
+                              }));
+}
+
+// --- set -------------------------------------------------------------------
+
+TEST(FastMonitorTest, SetAddThenContains) {
+  adt::SetType s;
+  EXPECT_TRUE(both_routes(s, {
+                                 op(0, "add", 1, Value::nil(), 0, 1),
+                                 op(1, "contains", 1, Value{1}, 2, 3),
+                                 op(1, "contains", 2, Value{0}, 4, 5),
+                             }));
+}
+
+TEST(FastMonitorTest, SetContainsTrueBeforeAdd) {
+  adt::SetType s;
+  EXPECT_FALSE(both_routes(s, {
+                                  op(0, "contains", 1, Value{1}, 0, 1),
+                                  op(1, "add", 1, Value::nil(), 2, 3),
+                              }));
+}
+
+TEST(FastMonitorTest, SetContainsFalseAfterAdd) {
+  adt::SetType s;
+  EXPECT_FALSE(both_routes(s, {
+                                  op(0, "add", 1, Value::nil(), 0, 1),
+                                  op(1, "contains", 1, Value{0}, 2, 3),
+                              }));
+}
+
+TEST(FastMonitorTest, SetContainsTrueWithoutAdd) {
+  adt::SetType s;
+  EXPECT_FALSE(both_routes(s, {
+                                  op(0, "contains", 9, Value{1}, 0, 1),
+                              }));
+}
+
+TEST(FastMonitorTest, SetConcurrentReadsBracketTheAdd) {
+  adt::SetType s;
+  // Both observations overlap the add: either can linearize on its side.
+  EXPECT_TRUE(both_routes(s, {
+                                 op(0, "add", 1, Value::nil(), 1, 4),
+                                 op(1, "contains", 1, Value{0}, 0, 2),
+                                 op(2, "contains", 1, Value{1}, 3, 5),
+                             }));
+}
+
+// --- priority queue --------------------------------------------------------
+
+TEST(FastMonitorTest, PQueueExtractsInValueOrder) {
+  adt::PriorityQueueType pq;
+  EXPECT_TRUE(both_routes(pq, {
+                                  op(0, "insert", 2, Value::nil(), 0, 1),
+                                  op(0, "insert", 1, Value::nil(), 2, 3),
+                                  op(1, "extract_min", Value::nil(), 1, 4, 5),
+                                  op(1, "extract_min", Value::nil(), 2, 6, 7),
+                              }));
+}
+
+TEST(FastMonitorTest, PQueueExtractCoveredBySmallerValue) {
+  adt::PriorityQueueType pq;
+  // 1 is certainly present for the whole extract_min -> 2 interval.
+  EXPECT_FALSE(both_routes(pq, {
+                                   op(0, "insert", 1, Value::nil(), 0, 1),
+                                   op(0, "insert", 2, Value::nil(), 2, 3),
+                                   op(1, "extract_min", Value::nil(), 2, 4, 5),
+                                   op(1, "extract_min", Value::nil(), 1, 6, 7),
+                               }));
+}
+
+TEST(FastMonitorTest, PQueueConcurrentSmallerValueAllowsEitherOrder) {
+  adt::PriorityQueueType pq;
+  // insert(1) overlaps the extract -> 2: extraction may linearize first.
+  EXPECT_TRUE(both_routes(pq, {
+                                  op(0, "insert", 2, Value::nil(), 0, 1),
+                                  op(1, "insert", 1, Value::nil(), 2, 5),
+                                  op(2, "extract_min", Value::nil(), 2, 3, 4),
+                                  op(2, "extract_min", Value::nil(), 1, 6, 7),
+                              }));
+}
+
+TEST(FastMonitorTest, PQueueEmptyExtractInsideCertainPresence) {
+  adt::PriorityQueueType pq;
+  EXPECT_FALSE(both_routes(pq, {
+                                   op(0, "insert", 1, Value::nil(), 0, 1),
+                                   op(1, "extract_min", Value::nil(), Value::nil(), 2, 3),
+                                   op(0, "extract_min", Value::nil(), 1, 6, 7),
+                               }));
+}
+
+TEST(FastMonitorTest, PQueueExtractBeforeInsert) {
+  adt::PriorityQueueType pq;
+  EXPECT_FALSE(both_routes(pq, {
+                                   op(0, "extract_min", Value::nil(), 1, 0, 1),
+                                   op(1, "insert", 1, Value::nil(), 2, 3),
+                               }));
+}
+
+// --- facade routing --------------------------------------------------------
+
+TEST(FastMonitorTest, RequireWitnessForcesGeneralRoute) {
+  adt::QueueType q;
+  const std::vector<OpRecord> h = {
+      op(0, "enqueue", 1, Value::nil(), 0, 1),
+      op(1, "dequeue", Value::nil(), 1, 2, 3),
+  };
+  FacadeOptions options;
+  options.require_witness = true;
+  const auto report = check(q, h, options);
+  EXPECT_EQ(report.stats.route, CheckRoute::kGeneral);
+  EXPECT_TRUE(report.result.linearizable);
+  EXPECT_EQ(report.result.witness.size(), h.size());
+}
+
+TEST(FastMonitorTest, AmbiguousHistoryRoutesToGeneral) {
+  adt::QueueType q;
+  // Duplicate enqueued value: outside the monitor's precondition.
+  const std::vector<OpRecord> h = {
+      op(0, "enqueue", 1, Value::nil(), 0, 1),
+      op(1, "enqueue", 1, Value::nil(), 2, 3),
+      op(0, "dequeue", Value::nil(), 1, 4, 5),
+      op(1, "dequeue", Value::nil(), 1, 6, 7),
+  };
+  const auto report = check(q, h);
+  EXPECT_EQ(report.stats.route, CheckRoute::kGeneral);
+  EXPECT_FALSE(report.stats.fallback_reason.empty());
+  EXPECT_TRUE(report.result.linearizable);
+}
+
+}  // namespace
+}  // namespace lintime::lin

@@ -1,0 +1,47 @@
+// 10^6-operation fast-path runs: the scale the log-linear monitors exist
+// for, far beyond what the general checker could ever search.  Registered
+// under the `long_history` ctest configuration only (bench-smoke CI runs
+// `ctest -C long_history`), so the default test pass stays fast.
+
+#include <gtest/gtest.h>
+
+#include "adt/pqueue_type.hpp"
+#include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
+#include "adt/set_type.hpp"
+#include "adt/stack_type.hpp"
+#include "lin/check.hpp"
+#include "lin/fast/history_gen.hpp"
+
+namespace lintime::lin {
+namespace {
+
+constexpr std::size_t kMillionOps = 1'000'000;
+
+void run_long(const adt::DataType& type) {
+  fast::GenOptions gen;
+  gen.procs = 8;
+  gen.total_ops = kMillionOps;
+  gen.seed = 42;
+  auto ops = fast::generate_unambiguous(type, gen);
+
+  const auto report = check(type, ops);
+  ASSERT_EQ(report.stats.route, CheckRoute::kFastPath) << report.stats.fallback_reason;
+  EXPECT_TRUE(report.result.linearizable);
+
+  // One impossible observation at the end must flip the verdict at the same
+  // scale.
+  fast::append_impossible_observation(type, ops);
+  const auto bad = check(type, ops);
+  ASSERT_EQ(bad.stats.route, CheckRoute::kFastPath);
+  EXPECT_FALSE(bad.result.linearizable);
+}
+
+TEST(LongHistoryTest, MillionOpQueue) { run_long(adt::QueueType{}); }
+TEST(LongHistoryTest, MillionOpStack) { run_long(adt::StackType{}); }
+TEST(LongHistoryTest, MillionOpRegister) { run_long(adt::RegisterType{}); }
+TEST(LongHistoryTest, MillionOpSet) { run_long(adt::SetType{}); }
+TEST(LongHistoryTest, MillionOpPQueue) { run_long(adt::PriorityQueueType{}); }
+
+}  // namespace
+}  // namespace lintime::lin
