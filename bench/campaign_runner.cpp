@@ -14,6 +14,9 @@
 //               tradeoff_sweep / Section 5.1.2 experiment.
 //   robustness  drift/drop grids x seeds (the assumption-sensitivity sweep).
 //   latency     u x algorithm x seeds latency distributions.
+//   serving     sharded multi-object throughput: ops-scale x scheduler
+//               (event ring vs. legacy binary heap), ops/sec in the bench
+//               entry.  --serving-ops N restricts the grid to one scale.
 
 #include <chrono>
 #include <cstdio>
@@ -21,12 +24,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "adt/queue_type.hpp"
+#include "adt/register_type.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/grid.hpp"
 #include "campaign/sink.hpp"
+#include "core/sharded_store.hpp"
 #include "harness/runner.hpp"
 #include "sim/delay_model.hpp"
 
@@ -151,10 +157,64 @@ campaign::CampaignSpec build_latency(const adt::DataType& type) {
   return spec;
 }
 
+// The serving-layer throughput sweep: a ShardedStore of registers with as
+// many keys as operations, driven by an open-loop pre-scheduled arrival
+// plan at n = 8 processes, crossed with the scheduler (event ring vs. the
+// legacy binary heap it replaced).  Jobs run with kOpsOnly recording and no
+// linearizability check -- the point is end-to-end simulator throughput,
+// reported as ops/sec in the bench entry; correctness at this scale is
+// covered by the sharded-store and event-ring test suites.
+struct ServingCampaign {
+  // Heap-allocated so addresses stay stable when the struct is moved out of
+  // build_serving (stores reference the component; jobs reference stores).
+  std::unique_ptr<adt::RegisterType> component;
+  std::vector<std::unique_ptr<core::ShardedStore>> stores;  ///< one per scale
+  campaign::CampaignSpec spec;
+};
+
+ServingCampaign build_serving(std::int64_t ops_override) {
+  ServingCampaign out;
+  out.component = std::make_unique<adt::RegisterType>();
+  out.spec.name = "serving";
+
+  std::vector<std::int64_t> scales{100'000, 1'000'000};
+  if (ops_override > 0) scales = {ops_override};
+
+  const int n = 8;
+  const int kShards = 16;
+  for (const std::int64_t ops : scales) {
+    // One store per scale: the keyspace is as large as the workload, so a
+    // 10^6-op job addresses 10^6 distinct keys.
+    out.stores.push_back(std::make_unique<core::ShardedStore>(*out.component, ops, kShards));
+    const core::ShardedStore& store = *out.stores.back();
+    const auto calls = harness::sharded_calls(store, n, static_cast<int>(ops / n), 42);
+
+    for (const auto sched : {sim::SchedulerKind::kEventRing, sim::SchedulerKind::kBinaryHeap}) {
+      const bool ring = sched == sim::SchedulerKind::kEventRing;
+      campaign::Job job;
+      job.name = "ops=" + std::to_string(ops) + "/sched=" + (ring ? "ring" : "heap");
+      job.tags = {{"ops", std::to_string(ops)}, {"sched", ring ? "ring" : "heap"}};
+      job.type = &store;
+      job.spec.params = sim::ModelParams{n, 10.0, 2.0, 0.0};
+      job.spec.params.eps = job.spec.params.optimal_eps();
+      job.spec.algo = harness::AlgoKind::kShardedServing;
+      job.spec.X = 0.0;
+      job.spec.scheduler = sched;
+      job.spec.record_detail = sim::RecordDetail::kOpsOnly;
+      job.spec.max_events = 60'000'000;
+      job.spec.calls = calls;
+      job.check_linearizability = false;
+      out.spec.jobs.push_back(std::move(job));
+    }
+  }
+  return out;
+}
+
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s [--campaign tradeoff|robustness|latency] [--jobs N]\n"
-      "          [--json PATH] [--csv PATH] [--bench-out PATH] [--quiet] [--list]\n",
+      "usage: %s [--campaign tradeoff|robustness|latency|serving] [--jobs N]\n"
+      "          [--serving-ops N] [--json PATH] [--csv PATH] [--bench-out PATH]\n"
+      "          [--quiet] [--list]\n",
       argv0);
   return 2;
 }
@@ -167,6 +227,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string bench_path;
   int jobs = 0;
+  std::int64_t serving_ops = 0;  ///< 0 = full {1e5, 1e6} serving grid
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -180,12 +241,13 @@ int main(int argc, char** argv) {
     };
     if (arg == "--campaign") campaign_name = next();
     else if (arg == "--jobs") jobs = std::atoi(next());
+    else if (arg == "--serving-ops") serving_ops = std::atoll(next());
     else if (arg == "--json") json_path = next();
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--bench-out") bench_path = next();
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--list") {
-      std::printf("tradeoff\nrobustness\nlatency\n");
+      std::printf("tradeoff\nrobustness\nlatency\nserving\n");
       return 0;
     } else {
       return usage(argv[0]);
@@ -193,11 +255,15 @@ int main(int argc, char** argv) {
   }
 
   adt::QueueType queue;
+  std::optional<ServingCampaign> serving;  // owns the sharded stores the jobs point at
   campaign::CampaignSpec spec;
   if (campaign_name == "tradeoff") spec = build_tradeoff(queue);
   else if (campaign_name == "robustness") spec = build_robustness(queue);
   else if (campaign_name == "latency") spec = build_latency(queue);
-  else {
+  else if (campaign_name == "serving") {
+    serving.emplace(build_serving(serving_ops));
+    spec = std::move(serving->spec);
+  } else {
     std::fprintf(stderr, "unknown campaign '%s'\n", campaign_name.c_str());
     return usage(argv[0]);
   }
@@ -254,6 +320,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     campaign::BenchEntry entry{spec.name, spec.jobs.size(), workers, wall};
+    if (campaign_name == "serving") entry.total_ops = agg.ops_complete;
     campaign::write_bench_entry(os, entry);
     os << "\n";
   }

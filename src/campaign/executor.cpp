@@ -143,6 +143,7 @@ CampaignMetrics CampaignResult::aggregate() const {
         ++out.jobs_fallback;
       }
     }
+    out.ops_complete += job.metrics.ops_complete;
     out.messages_sent += job.metrics.messages_sent;
     out.messages_dropped += job.metrics.messages_dropped;
     for (const auto& [op, samples] : job.latency_samples) {

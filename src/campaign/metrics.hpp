@@ -81,6 +81,7 @@ struct CampaignMetrics {
   std::size_t jobs_linearizable = 0;
   std::size_t jobs_fast_path = 0;    ///< verdicts from the log-linear monitors
   std::size_t jobs_fallback = 0;     ///< verdicts from the general search
+  std::size_t ops_complete = 0;      ///< total completed ops across jobs
   std::size_t messages_sent = 0;
   std::size_t messages_dropped = 0;
 };

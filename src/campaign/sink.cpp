@@ -135,6 +135,7 @@ void write_json(std::ostream& os, const CampaignResult& result) {
   os << ",\"jobs_linearizable\":" << agg.jobs_linearizable;
   os << ",\"jobs_fast_path\":" << agg.jobs_fast_path;
   os << ",\"jobs_fallback\":" << agg.jobs_fallback;
+  os << ",\"ops_complete\":" << agg.ops_complete;
   os << ",\"messages_sent\":" << agg.messages_sent;
   os << ",\"messages_dropped\":" << agg.messages_dropped;
   os << ",\"latency\":";
@@ -205,7 +206,15 @@ std::string to_csv(const CampaignResult& result) {
 void write_bench_entry(std::ostream& os, const BenchEntry& entry) {
   os << "{\"campaign\":\"" << json_escape(entry.campaign) << "\",\"job_count\":"
      << entry.job_count << ",\"workers\":" << entry.workers
-     << ",\"wall_seconds\":" << json_number(entry.wall_seconds) << "}";
+     << ",\"wall_seconds\":" << json_number(entry.wall_seconds);
+  if (entry.total_ops > 0) {
+    os << ",\"total_ops\":" << entry.total_ops;
+    if (entry.wall_seconds > 0) {
+      os << ",\"ops_per_sec\":"
+         << json_number(static_cast<double>(entry.total_ops) / entry.wall_seconds);
+    }
+  }
+  os << "}";
 }
 
 }  // namespace lintime::campaign

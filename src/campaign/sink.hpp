@@ -39,12 +39,16 @@ void write_csv(std::ostream& os, const CampaignResult& result);
 
 /// One entry of a BENCH_*.json perf artifact: a JSON object with the
 /// campaign name, job/worker counts and measured wall-clock seconds.
-/// Appended by callers into a JSON array they manage.
+/// Appended by callers into a JSON array they manage.  When `total_ops` is
+/// non-zero (throughput campaigns set it from the aggregate's completed-op
+/// count) the entry additionally reports the derived end-to-end
+/// "ops_per_sec".
 struct BenchEntry {
   std::string campaign;
   std::size_t job_count = 0;
   int workers = 0;
   double wall_seconds = 0;
+  std::size_t total_ops = 0;
 };
 void write_bench_entry(std::ostream& os, const BenchEntry& entry);
 

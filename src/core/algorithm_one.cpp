@@ -14,7 +14,11 @@ void AlgorithmOneProcess::on_invoke(sim::Context& ctx, const std::string& op, co
   // Resolve the name once at the invoker; the interned id then flows through
   // every timer, announcement and queue entry (throws on unknown names, as
   // the category lookup did before).
-  const adt::OpId id = type_.op_id(op);
+  on_invoke_id(ctx, type_.op_id(op), op, arg);
+}
+
+void AlgorithmOneProcess::on_invoke_id(sim::Context& ctx, adt::OpId id, const std::string& op,
+                                       const Value& arg) {
   const OpCategory cat = type_.category(id);
 
   if (cat == OpCategory::kPureAccessor) {
@@ -101,7 +105,7 @@ void AlgorithmOneProcess::drain_up_to(sim::Context& ctx, const Timestamp& ts) {
 Value AlgorithmOneProcess::execute_locally(adt::OpId op_id, const std::string& op,
                                            const Value& arg, const Timestamp& ts) {
   Value ret = state_->apply(op_id, arg);
-  executed_.push_back(ExecutedOp{op, arg, ret, ts});
+  if (log_executions_) executed_.push_back(ExecutedOp{op, arg, ret, ts});
   return ret;
 }
 

@@ -56,6 +56,8 @@ class AlgorithmOneProcess final : public sim::Process {
   AlgorithmOneProcess(const adt::DataType& type, TimingPolicy timing);
 
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
+  void on_invoke_id(sim::Context& ctx, adt::OpId id, const std::string& op,
+                    const adt::Value& arg) override;
   void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
   void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
 
@@ -66,6 +68,11 @@ class AlgorithmOneProcess final : public sim::Process {
 
   /// Canonical encoding of the replica state (History Oblivion checks).
   [[nodiscard]] std::string state_canonical() const { return state_->canonical(); }
+
+  /// Toggles the executed() log (default on).  Serving-scale runs (10^5+
+  /// ops) disable it: the log grows with every execution on every replica
+  /// and nothing in those runs reads it.
+  void set_execution_logging(bool on) { log_executions_ = on; }
 
  private:
   enum class TimerKind { kAopRespond, kMopRespond, kAdd, kExecute };
@@ -104,6 +111,7 @@ class AlgorithmOneProcess final : public sim::Process {
   std::map<Timestamp, QueueEntry> to_execute_;
   std::vector<ExecutedOp> executed_;
   std::uint64_t next_ts_seq_ = 0;  ///< keeps own timestamps unique
+  bool log_executions_ = true;
 };
 
 }  // namespace lintime::core

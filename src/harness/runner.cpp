@@ -14,11 +14,23 @@ namespace lintime::harness {
 
 namespace {
 
-/// Closed-loop driver state shared by the response hook.
+/// Closed-loop driver state shared by the response hook.  Operation names
+/// are resolved to interned ids ONCE up front; every subsequent invocation
+/// goes through the id overload of invoke_at, so a million-op serving script
+/// performs a million hash-map lookups fewer than the string path would.
 struct ScriptDriver {
   std::vector<std::vector<ScriptOp>> scripts;
-  std::vector<std::size_t> next;  ///< per-process cursor
+  std::vector<std::vector<adt::OpId>> ids;  ///< parallel to scripts
+  std::vector<std::size_t> next;            ///< per-process cursor
   sim::Time gap = 0;
+
+  void resolve(const adt::DataType& type) {
+    ids.resize(scripts.size());
+    for (std::size_t p = 0; p < scripts.size(); ++p) {
+      ids[p].reserve(scripts[p].size());
+      for (const auto& step : scripts[p]) ids[p].push_back(type.op_id(step.op));
+    }
+  }
 
   void kick_off(sim::World& world, sim::Time start) {
     for (sim::ProcId p = 0; p < static_cast<sim::ProcId>(scripts.size()); ++p) {
@@ -30,8 +42,9 @@ struct ScriptDriver {
     auto& cursor = next[static_cast<std::size_t>(p)];
     const auto& script = scripts[static_cast<std::size_t>(p)];
     if (cursor >= script.size()) return;
-    const auto& step = script[cursor++];
-    world.invoke_at(when, p, step.op, step.arg);
+    const auto& step = script[cursor];
+    world.invoke_at(when, p, ids[static_cast<std::size_t>(p)][cursor], step.arg);
+    ++cursor;
   }
 };
 
@@ -95,6 +108,10 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
   config.clock_rates = spec.clock_rates;
   config.drop_probability = spec.drop_probability;
   config.drop_seed = spec.drop_seed;
+  config.scheduler = spec.scheduler;
+  config.record_detail = spec.record_detail;
+
+  const bool full_detail = spec.record_detail == sim::RecordDetail::kFull;
 
   // The all-OOP baseline reuses Algorithm 1 against a category-erased view
   // of the type; the decorator must outlive the world.
@@ -103,6 +120,7 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
 
   // Keep raw handles for end-of-run state inspection.
   std::vector<core::AlgorithmOneProcess*> algo1_procs;
+  std::vector<core::ShardedServingProcess*> sharded_procs;
   std::vector<baseline::CentralizedProcess*> central_procs;
 
   // Lazily resolved so baselines never validate an Algorithm-1 X they do
@@ -115,12 +133,25 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
     switch (spec.algo) {
       case AlgoKind::kAlgorithmOne: {
         auto proc = std::make_unique<core::AlgorithmOneProcess>(type, timing());
+        proc->set_execution_logging(full_detail);
         algo1_procs.push_back(proc.get());
         return proc;
       }
       case AlgoKind::kAllOop: {
         auto proc = std::make_unique<core::AlgorithmOneProcess>(*all_mixed, timing());
+        proc->set_execution_logging(full_detail);
         algo1_procs.push_back(proc.get());
+        return proc;
+      }
+      case AlgoKind::kShardedServing: {
+        const auto* store = dynamic_cast<const core::ShardedStore*>(&type);
+        if (store == nullptr) {
+          throw std::invalid_argument(
+              "RunSpec: AlgoKind::kShardedServing requires a ShardedStore data type");
+        }
+        auto proc = std::make_unique<core::ShardedServingProcess>(*store, timing());
+        proc->set_execution_logging(full_detail);
+        sharded_procs.push_back(proc.get());
         return proc;
       }
       case AlgoKind::kCentralized: {
@@ -139,7 +170,15 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
   sim::World world(config, factory);
 
   for (const auto& call : spec.calls) {
-    world.invoke_at(call.when, call.proc, call.op, call.arg);
+    // Intern once per call here rather than per call inside the World; names
+    // the type doesn't know stay on the string overload (the process's
+    // on_invoke decides what they mean).
+    const adt::OpId id = spec.intern_calls ? type.find_op(call.op) : adt::OpId{};
+    if (id.valid()) {
+      world.invoke_at(call.when, call.proc, id, call.arg);
+    } else {
+      world.invoke_at(call.when, call.proc, call.op, call.arg);
+    }
   }
 
   ScriptDriver driver;
@@ -148,6 +187,7 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
       throw std::invalid_argument("RunSpec: scripts.size() must equal n");
     }
     driver.scripts = spec.scripts;
+    driver.resolve(type);
     driver.next.assign(driver.scripts.size(), 0);
     driver.gap = spec.script_gap;
     world.set_response_hook([&driver](sim::World& w, const sim::OpRecord& op) {
@@ -156,15 +196,21 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
     driver.kick_off(world, spec.script_start);
   }
 
-  world.run();
+  world.run(spec.max_events);
 
   RunResult result;
   result.record = world.record();
   result.latency = latency_by_op(result.record);
-  for (auto* p : algo1_procs) result.final_states.push_back(p->state_canonical());
-  for (auto* p : central_procs) {
-    result.final_states.push_back(p->state_canonical());
-    break;  // only the coordinator's state is meaningful
+  // Canonical state extraction walks every replica (every materialized key,
+  // for sharded stores) -- skip it in ops-only runs, where the caller asked
+  // for throughput numbers, not convergence evidence.
+  if (full_detail) {
+    for (auto* p : algo1_procs) result.final_states.push_back(p->state_canonical());
+    for (auto* p : sharded_procs) result.final_states.push_back(p->state_canonical());
+    for (auto* p : central_procs) {
+      result.final_states.push_back(p->state_canonical());
+      break;  // only the coordinator's state is meaningful
+    }
   }
   return result;
 }
@@ -183,6 +229,53 @@ std::vector<std::vector<ScriptOp>> random_scripts(const adt::DataType& type, int
     }
   }
   return scripts;
+}
+
+std::vector<std::vector<ScriptOp>> sharded_scripts(const core::ShardedStore& store, int n,
+                                                   int ops_per_proc, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto& specs = store.component().ops();
+  const auto num_keys = static_cast<std::uint64_t>(store.num_keys());
+  std::vector<std::vector<ScriptOp>> scripts(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    auto& script = scripts[static_cast<std::size_t>(p)];
+    script.reserve(static_cast<std::size_t>(ops_per_proc));
+    for (int i = 0; i < ops_per_proc; ++i) {
+      const auto& spec = specs[rng() % specs.size()];
+      const auto key = static_cast<std::int64_t>(rng() % num_keys);
+      adt::Value inner = spec.takes_arg
+                             ? adt::Value{static_cast<std::int64_t>(p) * ops_per_proc + i}
+                             : adt::Value::nil();
+      script.push_back(ScriptOp{spec.name, core::ShardedStore::keyed(key, std::move(inner))});
+    }
+  }
+  return scripts;
+}
+
+std::vector<Call> sharded_calls(const core::ShardedStore& store, int n, int ops_per_proc,
+                                std::uint64_t seed, double spacing) {
+  if (spacing <= 0) throw std::invalid_argument("sharded_calls: spacing must be > 0");
+  std::mt19937_64 rng(seed);
+  const auto& specs = store.component().ops();
+  const auto num_keys = static_cast<std::uint64_t>(store.num_keys());
+  std::vector<Call> calls;
+  calls.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(ops_per_proc));
+  // Round-robin over processes inside each arrival epoch keeps the plan
+  // strictly time-ascending, which is what lets the event queue take far
+  // pushes on its O(1) monotone lane.
+  for (int i = 0; i < ops_per_proc; ++i) {
+    for (int p = 0; p < n; ++p) {
+      const auto& spec = specs[rng() % specs.size()];
+      const auto key = static_cast<std::int64_t>(rng() % num_keys);
+      adt::Value inner = spec.takes_arg
+                             ? adt::Value{static_cast<std::int64_t>(p) * ops_per_proc + i}
+                             : adt::Value::nil();
+      const double when = (static_cast<double>(i) + static_cast<double>(p) / n) * spacing;
+      calls.push_back(
+          Call{when, p, spec.name, core::ShardedStore::keyed(key, std::move(inner))});
+    }
+  }
+  return calls;
 }
 
 }  // namespace lintime::harness

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "adt/data_type.hpp"
+#include "core/sharded_store.hpp"
 #include "core/timing_policy.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/run_record.hpp"
@@ -22,11 +23,12 @@ namespace lintime::harness {
 
 /// Which shared-object implementation to run.
 enum class AlgoKind {
-  kAlgorithmOne,   ///< the paper's Algorithm 1 (core/algorithm_one.hpp)
-  kCentralized,    ///< folklore 2d baseline
-  kAllOop,         ///< Algorithm 1 with every op treated as mixed (d+eps TOB)
-  kZeroWait,       ///< UNSAFE zero-latency comparator
-  kSeqConsistent,  ///< sequentially consistent (weaker condition, faster ops)
+  kAlgorithmOne,    ///< the paper's Algorithm 1 (core/algorithm_one.hpp)
+  kCentralized,     ///< folklore 2d baseline
+  kAllOop,          ///< Algorithm 1 with every op treated as mixed (d+eps TOB)
+  kZeroWait,        ///< UNSAFE zero-latency comparator
+  kSeqConsistent,   ///< sequentially consistent (weaker condition, faster ops)
+  kShardedServing,  ///< per-shard Algorithm 1 over a ShardedStore keyspace
 };
 
 [[nodiscard]] constexpr const char* to_string(AlgoKind k) {
@@ -36,6 +38,7 @@ enum class AlgoKind {
     case AlgoKind::kAllOop: return "all-oop";
     case AlgoKind::kZeroWait: return "zero-wait";
     case AlgoKind::kSeqConsistent: return "seq-consistent";
+    case AlgoKind::kShardedServing: return "sharded-serving";
   }
   return "?";
 }
@@ -74,7 +77,22 @@ struct RunSpec {
   double drop_probability = 0;
   std::uint64_t drop_seed = 0;
 
+  /// Simulator knobs (see sim::WorldConfig).  Serving-scale runs use
+  /// kOpsOnly recording and a raised max_events (Algorithm 1 generates
+  /// roughly 3n+2 events per operation, most of them cancelled-but-popped
+  /// execute timers, so 10^6 ops at n = 4 needs > 10^7 events).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kEventRing;
+  sim::RecordDetail record_detail = sim::RecordDetail::kFull;
+  std::uint64_t max_events = 10'000'000;
+
   std::vector<Call> calls;  ///< open-loop invocations
+
+  /// When true (default), `calls` are resolved to interned adt::OpId once at
+  /// submission and invoked through the id overload -- the serving fast path.
+  /// The false setting routes every call through the legacy string overload;
+  /// it exists so benchmarks can reproduce the pre-refactor per-call cost,
+  /// and new code should have no reason to clear it.
+  bool intern_calls = true;
 
   /// Closed-loop scripts: scripts[p] is invoked back-to-back at process p,
   /// the first at `script_start`, each next `script_gap` after the previous
@@ -119,5 +137,27 @@ struct RunResult {
 [[nodiscard]] std::vector<std::vector<ScriptOp>> random_scripts(const adt::DataType& type,
                                                                 int n, int ops_per_proc,
                                                                 std::uint64_t seed);
+
+/// Generates a closed-loop serving workload over a ShardedStore: keys drawn
+/// uniformly from the keyspace, component operations drawn uniformly, and
+/// integer arguments globally unique (proc * ops_per_proc + i), which keeps
+/// per-key restrictions inside the fast monitors' distinct-value
+/// precondition for components like registers.  Deterministic per seed.
+[[nodiscard]] std::vector<std::vector<ScriptOp>> sharded_scripts(const core::ShardedStore& store,
+                                                                 int n, int ops_per_proc,
+                                                                 std::uint64_t seed);
+
+/// Generates an OPEN-LOOP serving arrival plan over a ShardedStore: the same
+/// op/key/value distribution as sharded_scripts, but as pre-scheduled
+/// RunSpec::calls at fixed times instead of response-driven scripts.  Process
+/// p's i-th call arrives at `(i + p/n) * spacing`, strictly time-ascending
+/// across the plan; `spacing` must exceed the worst-case response latency
+/// (about d for Algorithm 1), since a process may hold only one outstanding
+/// invocation.  This is the serving benchmark's workload: the whole plan
+/// sits in the simulator's event queue, so scheduler behaviour at 10^5-10^6
+/// pending events is what's measured.  Deterministic per seed.
+[[nodiscard]] std::vector<Call> sharded_calls(const core::ShardedStore& store, int n,
+                                              int ops_per_proc, std::uint64_t seed,
+                                              double spacing = 20.0);
 
 }  // namespace lintime::harness

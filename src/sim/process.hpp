@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "adt/op.hpp"
 #include "adt/value.hpp"
 #include "sim/model_params.hpp"
 
@@ -63,6 +64,17 @@ class Process {
 
   /// The user invoked (op, arg) at this process.
   virtual void on_invoke(Context& ctx, const std::string& op, const adt::Value& arg) = 0;
+
+  /// Interned-dispatch variant: when the World knows the invocation's
+  /// adt::OpId (WorldConfig::type set and the name resolved), it calls this
+  /// instead.  The default forwards to on_invoke, so string-only processes
+  /// are unaffected; hot-path algorithms override it to skip the per-invoke
+  /// name lookup.
+  virtual void on_invoke_id(Context& ctx, adt::OpId id, const std::string& op,
+                            const adt::Value& arg) {
+    (void)id;
+    on_invoke(ctx, op, arg);
+  }
 
   /// A message from `src` arrived.
   virtual void on_message(Context& ctx, ProcId src, const std::any& payload) = 0;

@@ -39,6 +39,13 @@ class SlotMap {
     return &*slots_[idx];
   }
 
+  /// Mutable lookup (e.g. decrementing a broadcast payload's delivery
+  /// count).  Stable: deque growth and front-trimming never move a live
+  /// slot, so the pointer survives later inserts.
+  [[nodiscard]] T* find(std::uint64_t id) {
+    return const_cast<T*>(static_cast<const SlotMap*>(this)->find(id));
+  }
+
   /// Removes and returns the value, or nullopt if absent.
   std::optional<T> take(std::uint64_t id) {
     if (id < base_) return std::nullopt;

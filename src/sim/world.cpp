@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "adt/data_type.hpp"
 
@@ -21,7 +22,9 @@ constexpr Time kTol = 1e-7;
 // over the reals where such boundaries coincide; without snapping, one-ulp
 // differences create spurious real-time precedence edges that contradict the
 // timestamp tie-breaking and make correct runs look non-linearizable.
-constexpr Time kGrid = 1e9;  // resolution 1e-9 time units
+// The EventRing buckets on the same grid (its tick_of()), which is what makes
+// its bucket numbering a monotone function of event times.
+constexpr Time kGrid = kTickGrid;  // resolution 1e-9 time units
 
 Time snap(Time t) { return std::round(t * kGrid) / kGrid; }
 
@@ -49,53 +52,59 @@ class World::ContextImpl final : public Context {
       throw std::invalid_argument("send: bad destination " + std::to_string(dst));
     }
     const std::uint64_t id = world_.next_message_id_++;
-    if (world_.config_.drop_probability > 0) {
-      std::uniform_real_distribution<double> coin(0.0, 1.0);
-      if (coin(world_.drop_rng_) < world_.config_.drop_probability) {
-        // Dropped: recorded as sent-but-unreceived; no delivery event.
-        MessageRecord rec;
-        rec.id = id;
-        rec.src = self_;
-        rec.dst = dst;
-        rec.send_real = world_.now_;
-        rec.received = false;
-        world_.record_.messages.push_back(rec);
-        step_.sent_message_ids.push_back(id);
-        return;
-      }
+    if (draw_drop()) {
+      record_dropped(id, dst);
+      return;
     }
-    const Time delay =
-        world_.config_.delays->delay(self_, dst, world_.now_, id);
-    if (world_.config_.enforce_valid_delays) {
-      const auto& p = world_.config_.params;
-      if (delay < p.min_delay() - kTol || delay > p.d + kTol) {
-        throw std::logic_error("delay model produced invalid delay " + std::to_string(delay) +
-                               " outside [" + std::to_string(p.min_delay()) + ", " +
-                               std::to_string(p.d) + "]");
-      }
+    const Time recv = delivery_time(dst, id);
+    record_delivered(id, dst, recv);
+    if (world_.config_.scheduler == SchedulerKind::kBinaryHeap) {
+      world_.in_flight_.insert(id, PendingMessage{self_, dst, std::move(payload)});
+      Event ev;
+      ev.when = recv;
+      ev.kind = EventKind::kDeliver;
+      ev.proc = dst;
+      ev.id = id;
+      world_.push_event(std::move(ev));
+    } else {
+      const std::uint64_t slot = world_.next_payload_slot_++;
+      world_.payloads_.insert(slot, SharedPayload{std::move(payload), self_, 1});
+      world_.push_ring(EventKind::kDeliver, recv, dst, id, slot);
     }
-    MessageRecord rec;
-    rec.id = id;
-    rec.src = self_;
-    rec.dst = dst;
-    rec.send_real = world_.now_;
-    rec.recv_real = snap(world_.now_ + delay);
-    rec.received = true;  // reliable network: everything sent is delivered
-    world_.record_.messages.push_back(rec);
-    world_.in_flight_.insert(id, PendingMessage{self_, dst, std::move(payload)});
-    step_.sent_message_ids.push_back(id);
-
-    Event ev;
-    ev.when = rec.recv_real;
-    ev.kind = Event::Kind::kDeliver;
-    ev.proc = dst;
-    ev.message_id = id;
-    world_.push_event(std::move(ev));
   }
 
   void broadcast(std::any payload) override {
-    for (ProcId p = 0; p < n(); ++p) {
-      if (p != self_) send(p, payload);
+    if (world_.config_.scheduler == SchedulerKind::kBinaryHeap) {
+      // Legacy semantics: one deep payload copy per destination.
+      for (ProcId p = 0; p < n(); ++p) {
+        if (p != self_) send(p, payload);
+      }
+      return;
+    }
+    // Batched delivery: ONE arena slot holds the payload; n-1 ring entries
+    // reference it.  Message ids, drop coins, delays and records are drawn
+    // per destination in exactly the per-send order, so the RunRecord is
+    // byte-identical to the legacy loop -- only the n-1 std::any copies and
+    // side-table round trips disappear.
+    const std::uint64_t slot = world_.next_payload_slot_++;
+    world_.payloads_.insert(slot, SharedPayload{std::move(payload), self_, 0});
+    std::uint32_t delivered = 0;
+    for (ProcId dst = 0; dst < n(); ++dst) {
+      if (dst == self_) continue;
+      const std::uint64_t id = world_.next_message_id_++;
+      if (draw_drop()) {
+        record_dropped(id, dst);
+        continue;
+      }
+      const Time recv = delivery_time(dst, id);
+      record_delivered(id, dst, recv);
+      world_.push_ring(EventKind::kDeliver, recv, dst, id, slot);
+      ++delivered;
+    }
+    if (delivered == 0) {
+      world_.payloads_.erase(slot);
+    } else {
+      world_.payloads_.find(slot)->remaining = delivered;
     }
   }
 
@@ -103,15 +112,20 @@ class World::ContextImpl final : public Context {
     if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
     const std::uint64_t id = world_.next_timer_id_++;
     world_.timers_.insert(id, PendingTimer{self_, std::move(data)});
-    Event ev;
     // A local-clock duration takes delay / rate real time (rate 1, the
     // paper's model, makes them equal).
     const Time rate = world_.config_.clock_rates[static_cast<std::size_t>(self_)];
-    ev.when = snap(world_.now_ + delay / rate);
-    ev.kind = Event::Kind::kTimer;
-    ev.proc = self_;
-    ev.timer_id = id;
-    world_.push_event(std::move(ev));
+    const Time when = snap(world_.now_ + delay / rate);
+    if (world_.config_.scheduler == SchedulerKind::kBinaryHeap) {
+      Event ev;
+      ev.when = when;
+      ev.kind = EventKind::kTimer;
+      ev.proc = self_;
+      ev.id = id;
+      world_.push_event(std::move(ev));
+    } else {
+      world_.push_ring(EventKind::kTimer, when, self_, id, 0);
+    }
     return TimerId{id};
   }
 
@@ -132,6 +146,53 @@ class World::ContextImpl final : public Context {
   }
 
  private:
+  /// One drop coin per message id, in id order -- both schedulers and both
+  /// send/broadcast paths consume the RNG identically.
+  [[nodiscard]] bool draw_drop() {
+    if (world_.config_.drop_probability <= 0) return false;
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    return coin(world_.drop_rng_) < world_.config_.drop_probability;
+  }
+
+  [[nodiscard]] Time delivery_time(ProcId dst, std::uint64_t id) {
+    const Time delay = world_.config_.delays->delay(self_, dst, world_.now_, id);
+    if (world_.config_.enforce_valid_delays) {
+      const auto& p = world_.config_.params;
+      if (delay < p.min_delay() - kTol || delay > p.d + kTol) {
+        throw std::logic_error("delay model produced invalid delay " + std::to_string(delay) +
+                               " outside [" + std::to_string(p.min_delay()) + ", " +
+                               std::to_string(p.d) + "]");
+      }
+    }
+    return snap(world_.now_ + delay);
+  }
+
+  void record_dropped(std::uint64_t id, ProcId dst) {
+    if (!world_.record_full_) return;
+    // Dropped: recorded as sent-but-unreceived; no delivery event.
+    MessageRecord rec;
+    rec.id = id;
+    rec.src = self_;
+    rec.dst = dst;
+    rec.send_real = world_.now_;
+    rec.received = false;
+    world_.record_.messages.push_back(rec);
+    step_.sent_message_ids.push_back(id);
+  }
+
+  void record_delivered(std::uint64_t id, ProcId dst, Time recv) {
+    if (!world_.record_full_) return;
+    MessageRecord rec;
+    rec.id = id;
+    rec.src = self_;
+    rec.dst = dst;
+    rec.send_real = world_.now_;
+    rec.recv_real = recv;
+    rec.received = true;  // reliable network: everything sent is delivered
+    world_.record_.messages.push_back(rec);
+    step_.sent_message_ids.push_back(id);
+  }
+
   World& world_;
   ProcId self_;
   StepRecord& step_;
@@ -148,8 +209,17 @@ World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::m
   if (config_.clock_rates.size() != n) {
     throw std::invalid_argument("WorldConfig: clock_rates size != n");
   }
-  for (const Time r : config_.clock_rates) {
-    if (r <= 0) throw std::invalid_argument("WorldConfig: clock rates must be positive");
+  for (std::size_t i = 0; i < config_.clock_rates.size(); ++i) {
+    // !(r > 0) rather than r <= 0: also rejects NaN.
+    if (!(config_.clock_rates[i] > 0)) {
+      throw std::invalid_argument("WorldConfig: clock_rates[" + std::to_string(i) +
+                                  "] must be > 0, got " +
+                                  std::to_string(config_.clock_rates[i]));
+    }
+  }
+  if (!(config_.drop_probability >= 0.0 && config_.drop_probability <= 1.0)) {
+    throw std::invalid_argument("WorldConfig: drop_probability must be in [0, 1], got " +
+                                std::to_string(config_.drop_probability));
   }
   drop_rng_.seed(config_.drop_seed);
   if (config_.enforce_valid_skew) {
@@ -165,6 +235,8 @@ World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::m
   if (config_.delays == nullptr) {
     config_.delays = std::make_shared<ConstantDelay>(config_.params.d);
   }
+  record_full_ = config_.record_detail == RecordDetail::kFull;
+  ring_ = EventRing(EventRing::width_for(config_.params.d));
 
   record_.params = config_.params;
   record_.clock_offsets = config_.clock_offsets;
@@ -184,76 +256,122 @@ World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::m
   }
 }
 
-void World::push_event(Event ev) {
-  ev.seq = next_seq_++;
-  switch (ev.kind) {
-    case Event::Kind::kDeliver:
-      ev.tie_rank = config_.timers_before_deliveries ? 1 : 0;
-      break;
-    case Event::Kind::kTimer:
-      ev.tie_rank = config_.timers_before_deliveries ? 0 : 1;
-      break;
-    case Event::Kind::kInvoke:
-      ev.tie_rank = 2;
+int World::tie_rank_of(EventKind kind) const {
+  switch (kind) {
+    case EventKind::kDeliver:
+      return config_.timers_before_deliveries ? 1 : 0;
+    case EventKind::kTimer:
+      return config_.timers_before_deliveries ? 0 : 1;
+    case EventKind::kInvoke:
       break;
   }
+  return 2;
+}
+
+void World::push_event(Event ev) {
+  ev.seq = next_seq_++;
+  ev.tie_rank = tie_rank_of(ev.kind);
   queue_.push(std::move(ev));
 }
 
+void World::push_ring(EventKind kind, Time when, ProcId proc, std::uint64_t id,
+                      std::uint64_t slot) {
+  RingEvent ev;
+  ev.when = when;
+  ev.order = ring_order(tie_rank_of(kind), next_seq_++);
+  ev.kind = kind;
+  ev.proc = proc;
+  ev.id = id;
+  ev.slot = slot;
+  ring_.push(ev);
+}
+
 void World::invoke_at(Time when, ProcId proc, std::string op, adt::Value arg) {
+  // Resolve the operation name to its interned id once, off the dispatch
+  // path; unknown names stay invalid (the process's on_invoke decides).
+  const adt::OpId op_id = config_.type != nullptr ? config_.type->find_op(op) : adt::OpId{};
+  schedule_invoke(when, proc, std::move(op), op_id, std::move(arg));
+}
+
+void World::invoke_at(Time when, ProcId proc, adt::OpId op, adt::Value arg) {
+  if (config_.type == nullptr) {
+    throw std::logic_error("invoke_at(OpId): WorldConfig::type is not set");
+  }
+  // spec() throws std::out_of_range on an invalid or foreign id; the name is
+  // still threaded through for the trace (OpRecord::op, StepRecord::op).
+  schedule_invoke(when, proc, config_.type->spec(op).name, op, std::move(arg));
+}
+
+void World::schedule_invoke(Time when, ProcId proc, std::string op, adt::OpId op_id,
+                            adt::Value arg) {
   if (proc < 0 || proc >= config_.params.n) {
     throw std::invalid_argument("invoke_at: bad process id");
   }
   if (when < now_) throw std::invalid_argument("invoke_at: time in the past");
   const std::uint64_t id = next_invoke_id_++;
-  // Resolve the operation name to its interned id once, off the dispatch
-  // path; unknown names stay invalid (the process's on_invoke decides).
-  const adt::OpId op_id = config_.type != nullptr ? config_.type->find_op(op) : adt::OpId{};
   pending_invokes_.insert(id, PendingInvoke{std::move(op), std::move(arg), op_id});
-  Event ev;
-  ev.when = snap(when);
-  ev.kind = Event::Kind::kInvoke;
-  ev.proc = proc;
-  ev.invoke_id = id;
-  push_event(std::move(ev));
+  const Time at = snap(when);
+  if (config_.scheduler == SchedulerKind::kBinaryHeap) {
+    Event ev;
+    ev.when = at;
+    ev.kind = EventKind::kInvoke;
+    ev.proc = proc;
+    ev.id = id;
+    push_event(std::move(ev));
+  } else {
+    push_ring(EventKind::kInvoke, at, proc, id, 0);
+  }
 }
 
 void World::run(std::uint64_t max_events) {
   std::uint64_t handled = 0;
-  while (!queue_.empty()) {
-    if (++handled > max_events) {
-      throw std::runtime_error("World::run: exceeded max_events; algorithm not quiescent?");
+  if (config_.scheduler == SchedulerKind::kBinaryHeap) {
+    while (!queue_.empty()) {
+      if (++handled > max_events) {
+        throw std::runtime_error("World::run: exceeded max_events; algorithm not quiescent?");
+      }
+      const Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      dispatch(ev.kind, ev.proc, ev.id, 0);
     }
-    const Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    dispatch(ev);
+  } else {
+    while (!ring_.empty()) {
+      if (++handled > max_events) {
+        throw std::runtime_error("World::run: exceeded max_events; algorithm not quiescent?");
+      }
+      const RingEvent ev = ring_.pop();
+      now_ = ev.when;
+      dispatch(ev.kind, ev.proc, ev.id, ev.slot);
+    }
   }
 }
 
-void World::dispatch(const Event& ev) {
-  const auto pi = static_cast<std::size_t>(ev.proc);
+void World::dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_t payload_slot) {
+  const auto pi = static_cast<std::size_t>(proc);
 
   StepRecord step;
-  step.proc = ev.proc;
+  step.proc = proc;
   step.real_time = now_;
   step.clock_time = snap(now_ * config_.clock_rates[pi] + config_.clock_offsets[pi]);
 
-  switch (ev.kind) {
-    case Event::Kind::kInvoke: {
+  switch (kind) {
+    case EventKind::kInvoke: {
       if (pending_op_[pi] >= 0) {
-        throw std::logic_error("invocation at p" + std::to_string(ev.proc) +
+        throw std::logic_error("invocation at p" + std::to_string(proc) +
                                " while another instance is pending (user constraint violated)");
       }
-      auto inv = pending_invokes_.take(ev.invoke_id);
+      auto inv = pending_invokes_.take(id);
       if (!inv) break;  // should not happen
 
       step.trigger = Trigger::kInvoke;
-      step.op = inv->op;
-      step.arg = inv->arg;
+      if (record_full_) {
+        step.op = inv->op;
+        step.arg = inv->arg;
+      }
 
       OpRecord op;
-      op.proc = ev.proc;
+      op.proc = proc;
       op.op = std::move(inv->op);
       op.arg = std::move(inv->arg);
       op.invoke_real = now_;
@@ -267,31 +385,49 @@ void World::dispatch(const Event& ev) {
       // through on_invoke (responses and hook-driven invoke_at only touch the
       // event queue and existing records).
       const OpRecord& rec = record_.ops[static_cast<std::size_t>(pending_op_[pi])];
-      ContextImpl ctx(*this, ev.proc, step);
-      processes_[pi]->on_invoke(ctx, rec.op, rec.arg);
+      ContextImpl ctx(*this, proc, step);
+      if (rec.op_id.valid()) {
+        processes_[pi]->on_invoke_id(ctx, rec.op_id, rec.op, rec.arg);
+      } else {
+        processes_[pi]->on_invoke(ctx, rec.op, rec.arg);
+      }
       break;
     }
-    case Event::Kind::kDeliver: {
-      auto msg = in_flight_.take(ev.message_id);
-      if (!msg) break;  // should not happen
-      step.trigger = Trigger::kMessage;
-      step.message_id = ev.message_id;
-      ContextImpl ctx(*this, ev.proc, step);
-      processes_[pi]->on_message(ctx, msg->src, msg->payload);
+    case EventKind::kDeliver: {
+      if (config_.scheduler == SchedulerKind::kBinaryHeap) {
+        auto msg = in_flight_.take(id);
+        if (!msg) break;  // should not happen
+        step.trigger = Trigger::kMessage;
+        step.message_id = id;
+        ContextImpl ctx(*this, proc, step);
+        processes_[pi]->on_message(ctx, msg->src, msg->payload);
+      } else {
+        auto* sp = payloads_.find(payload_slot);
+        if (sp == nullptr) break;  // should not happen
+        step.trigger = Trigger::kMessage;
+        step.message_id = id;
+        ContextImpl ctx(*this, proc, step);
+        processes_[pi]->on_message(ctx, sp->src, sp->payload);
+        // Re-find before releasing: the handler may have grown the arena
+        // (deque slots are reference-stable, but re-checking costs nothing
+        // and keeps this robust against future storage changes).
+        auto* done = payloads_.find(payload_slot);
+        if (done != nullptr && --done->remaining == 0) payloads_.erase(payload_slot);
+      }
       break;
     }
-    case Event::Kind::kTimer: {
-      auto timer = timers_.take(ev.timer_id);
+    case EventKind::kTimer: {
+      auto timer = timers_.take(id);
       if (!timer) return;  // cancelled; not a step at all
       step.trigger = Trigger::kTimer;
-      step.timer_id = ev.timer_id;
-      ContextImpl ctx(*this, ev.proc, step);
-      processes_[pi]->on_timer(ctx, TimerId{ev.timer_id}, timer->data);
+      step.timer_id = id;
+      ContextImpl ctx(*this, proc, step);
+      processes_[pi]->on_timer(ctx, TimerId{id}, timer->data);
       break;
     }
   }
 
-  record_.steps.push_back(std::move(step));
+  if (record_full_) record_.steps.push_back(std::move(step));
 }
 
 }  // namespace lintime::sim

@@ -11,7 +11,9 @@
 #include <random>
 #include <vector>
 
+#include "adt/op.hpp"
 #include "sim/delay_model.hpp"
+#include "sim/event_ring.hpp"
 #include "sim/model_params.hpp"
 #include "sim/process.hpp"
 #include "sim/run_record.hpp"
@@ -22,6 +24,25 @@ class DataType;
 }  // namespace lintime::adt
 
 namespace lintime::sim {
+
+/// Which event scheduler a World runs on.  Both produce byte-identical
+/// RunRecords (tests/sim/event_ring_test.cpp); the ring is the fast default,
+/// the binary heap is retained as the equivalence baseline and for the
+/// pre-refactor comparison in BM_ServingThroughput.
+enum class SchedulerKind {
+  kEventRing,   ///< contiguous calendar queue + shared broadcast payloads
+  kBinaryHeap,  ///< the original std::priority_queue + per-send side tables
+};
+
+/// How much of the run to record.  Step and message records dominate memory
+/// at serving scale (a 10^6-op run generates ~10^7 steps); kOpsOnly keeps
+/// only the operation records (what the checkers and latency metrics
+/// consume) and leaves steps/messages empty.  The recorded ops are
+/// byte-identical between the two levels.
+enum class RecordDetail {
+  kFull,     ///< steps + messages + ops (the default; shifting needs steps)
+  kOpsOnly,  ///< ops only, for 10^5+-op serving runs
+};
 
 /// Simulator configuration.
 struct WorldConfig {
@@ -39,16 +60,20 @@ struct WorldConfig {
   /// (the paper's drift-free clocks).  Timer duration D set at local time L
   /// fires when the local clock reaches L + D, i.e. after D / rate real
   /// time.  The shifting machinery assumes rate 1 and must not be applied
-  /// to drifting records.
+  /// to drifting records.  Rates must be positive (validated).
   std::vector<Time> clock_rates;
 
   /// EXTENSION: fraction of messages silently dropped (violating the
   /// reliable-network assumption), selected deterministically per seed.
+  /// Must lie within [0, 1] (validated).
   double drop_probability = 0;
   std::uint64_t drop_seed = 0;
   std::shared_ptr<DelayModel> delays;  ///< nullptr = ConstantDelay(d)
   bool enforce_valid_delays = true;    ///< assert delays within [d-u, d]
   bool enforce_valid_skew = true;      ///< assert |c_i - c_j| <= eps
+
+  SchedulerKind scheduler = SchedulerKind::kEventRing;
+  RecordDetail record_detail = RecordDetail::kFull;
 
   /// ABLATION ONLY: process timer expirations before message receipts at
   /// equal times (the opposite of the model's boundary rule).  Algorithm 1's
@@ -72,6 +97,11 @@ class World {
   /// run loop re-checks at execution time.
   void invoke_at(Time when, ProcId proc, std::string op, adt::Value arg);
 
+  /// Interned-dispatch overload for hot scheduling loops: no per-call name
+  /// lookup.  Requires WorldConfig::type (the id's issuer); throws
+  /// std::out_of_range on an invalid or foreign id.
+  void invoke_at(Time when, ProcId proc, adt::OpId op, adt::Value arg);
+
   /// Registers a hook called on every operation response; the hook may call
   /// invoke_at (closed-loop workloads).
   void set_response_hook(ResponseHook hook) { response_hook_ = std::move(hook); }
@@ -92,24 +122,23 @@ class World {
   [[nodiscard]] Process& process(ProcId p) { return *processes_[static_cast<std::size_t>(p)]; }
 
  private:
-  // Events are deliberately payload-free: the heap sifts in push/pop move
-  // each displaced element O(log n) times, so carrying the invocation's
-  // op-name string and argument Value inside Event would copy them on every
-  // sift.  Payloads live in side maps (pending_invokes_ / in_flight_ /
-  // timers_) keyed by id -- one move in at schedule time, one move out at
-  // dispatch -- and Event stays a small trivially-movable struct.
+  // Legacy-scheduler events are deliberately payload-free: the heap sifts in
+  // push/pop move each displaced element O(log n) times, so carrying the
+  // invocation's op-name string and argument Value inside Event would copy
+  // them on every sift.  Payloads live in side maps (pending_invokes_ /
+  // in_flight_ / timers_) keyed by id -- one move in at schedule time, one
+  // move out at dispatch -- and Event stays a small trivially-movable
+  // struct.  The ring scheduler shares the same side tables for invokes and
+  // timers but references broadcast-shared message payloads by arena slot
+  // (see payloads_).
   struct Event {
     Time when = 0;
     std::uint64_t seq = 0;  ///< tie-break: FIFO among simultaneous events
-    enum class Kind { kDeliver = 0, kTimer = 1, kInvoke = 2 } kind = Kind::kInvoke;
+    EventKind kind = EventKind::kInvoke;
     ProcId proc = 0;
 
-    // kInvoke:
-    std::uint64_t invoke_id = 0;
-    // kDeliver:
-    std::uint64_t message_id = 0;
-    // kTimer:
-    std::uint64_t timer_id = 0;
+    // kInvoke: invoke_id; kDeliver: message_id; kTimer: timer_id.
+    std::uint64_t id = 0;
 
     // At equal times, deliveries are processed before timers and timers
     // before invocations (tie_rank, set at push time; the deliver-first rule
@@ -138,34 +167,52 @@ class World {
     adt::OpId op_id;  ///< resolved once at invoke_at when config_.type is set
   };
 
+  /// Heap scheduler only: one stored payload per delivery.
   struct PendingMessage {
     ProcId src;
     ProcId dst;
     std::any payload;
   };
 
+  /// Ring scheduler: one stored payload per send OR broadcast; `remaining`
+  /// deliveries reference the slot before it is reclaimed.  This is what
+  /// makes Algorithm 1's broadcasts cheap -- n-1 ring entries fan out from
+  /// one payload instead of n-1 deep copies of the announcement.
+  struct SharedPayload {
+    std::any payload;
+    ProcId src = 0;
+    std::uint32_t remaining = 0;
+  };
+
   class ContextImpl;
   friend class ContextImpl;
 
-  void dispatch(const Event& ev);
+  void schedule_invoke(Time when, ProcId proc, std::string op, adt::OpId op_id, adt::Value arg);
+  void dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_t payload_slot);
+  [[nodiscard]] int tie_rank_of(EventKind kind) const;
   void push_event(Event ev);
+  void push_ring(EventKind kind, Time when, ProcId proc, std::uint64_t id, std::uint64_t slot);
 
   WorldConfig config_;
+  bool record_full_ = true;  ///< config_.record_detail == kFull
   std::vector<std::unique_ptr<Process>> processes_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;  ///< kBinaryHeap
+  EventRing ring_;                                                        ///< kEventRing
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_id_ = 1;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t next_invoke_id_ = 1;
+  std::uint64_t next_payload_slot_ = 1;
   std::mt19937_64 drop_rng_{0};
   std::uint64_t next_op_uid_ = 1;
   Time now_ = 0;
 
   // Sequential ids consumed near-FIFO: SlotMap beats std::map's node
   // allocation + pointer chase on the dispatch hot path.
-  SlotMap<PendingTimer> timers_;             ///< live timers
-  SlotMap<PendingMessage> in_flight_;        ///< undelivered messages
-  SlotMap<PendingInvoke> pending_invokes_;   ///< scheduled invocations
+  SlotMap<PendingTimer> timers_;            ///< live timers
+  SlotMap<PendingMessage> in_flight_;       ///< undelivered messages (heap mode)
+  SlotMap<SharedPayload> payloads_;         ///< message payload arena (ring mode)
+  SlotMap<PendingInvoke> pending_invokes_;  ///< scheduled invocations
 
   /// Pending invocation per process (index into record_.ops), or -1.
   std::vector<std::int64_t> pending_op_;

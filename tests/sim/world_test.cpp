@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <any>
+#include <limits>
+#include <string>
 #include <vector>
+
+#include "adt/register_type.hpp"
 
 namespace lintime::sim {
 namespace {
@@ -231,6 +235,80 @@ TEST(WorldTest, ViewOfFiltersSteps) {
   EXPECT_EQ(view1.size(), 1u);  // the message receipt
   EXPECT_EQ(view0[0].trigger, Trigger::kInvoke);
   EXPECT_EQ(view1[0].trigger, Trigger::kMessage);
+}
+
+TEST(WorldTest, DropProbabilityOutsideUnitIntervalThrows) {
+  Probe::Log log;
+  const auto factory = [&](ProcId) { return std::make_unique<Probe>(log); };
+  for (const double p : {-0.1, 1.5, std::numeric_limits<double>::quiet_NaN()}) {
+    WorldConfig c = config3();
+    c.drop_probability = p;
+    try {
+      World w(c, factory);
+      FAIL() << "drop_probability " << p << " accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("drop_probability must be in [0, 1]"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(WorldTest, NonPositiveClockRateThrows) {
+  Probe::Log log;
+  const auto factory = [&](ProcId) { return std::make_unique<Probe>(log); };
+  for (const double r : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN()}) {
+    WorldConfig c = config3();
+    c.clock_rates = {1.0, r, 1.0};
+    try {
+      World w(c, factory);
+      FAIL() << "clock rate " << r << " accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("clock_rates[1] must be > 0"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(WorldTest, InvokeAtIdRequiresConfiguredType) {
+  Probe::Log log;
+  WorldConfig c = config3();  // type left null
+  World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+  EXPECT_THROW(w.invoke_at(1.0, 0, adt::OpId{}, adt::Value::nil()), std::logic_error);
+}
+
+TEST(WorldTest, InvokeAtIdMatchesStringOverload) {
+  adt::RegisterType reg;
+  const auto run = [&](bool by_id) {
+    WorldConfig c = config3();
+    c.type = &reg;
+    Probe::Log log;
+    World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+    // Probe responds to any invocation ("write" hits its default branch);
+    // only the recorded op name/id matter here.
+    if (by_id) {
+      w.invoke_at(1.0, 0, reg.op_id(adt::RegisterType::kWrite), adt::Value{7});
+    } else {
+      w.invoke_at(1.0, 0, adt::RegisterType::kWrite, adt::Value{7});
+    }
+    w.run();
+    return w.record();
+  };
+  const auto by_name = run(false);
+  const auto by_id = run(true);
+  ASSERT_EQ(by_id.ops.size(), 1u);
+  EXPECT_EQ(by_id.ops[0].op, "write");
+  EXPECT_TRUE(by_id.ops[0].op_id.valid());
+  EXPECT_EQ(by_name.ops[0].to_string(), by_id.ops[0].to_string());
+}
+
+TEST(WorldTest, InvokeAtForeignIdThrows) {
+  adt::RegisterType reg;
+  WorldConfig c = config3();
+  c.type = &reg;
+  Probe::Log log;
+  World w(c, [&](ProcId) { return std::make_unique<Probe>(log); });
+  EXPECT_THROW(w.invoke_at(1.0, 0, adt::OpId{}, adt::Value::nil()), std::out_of_range);
 }
 
 }  // namespace
