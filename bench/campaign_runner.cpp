@@ -221,6 +221,9 @@ int usage(const char* argv0) {
 
 }  // namespace
 
+// detlint:capability(wall-clock): the harness main times the campaign itself,
+// reported on stderr and in the --bench entry; the result JSON/CSV stays
+// seed-pure.
 int main(int argc, char** argv) {
   std::string campaign_name = "tradeoff";
   std::string json_path;
@@ -283,11 +286,9 @@ int main(int argc, char** argv) {
                  spec.jobs.size(), workers);
   }
 
-  // detlint:allow(wall-clock): wall time of the campaign itself, reported on
-  // stderr and in the --bench entry; the result JSON/CSV stays seed-pure.
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = campaign::run_campaign(spec, options);
-  const auto t1 = std::chrono::steady_clock::now();  // detlint:allow(wall-clock): harness timing
+  const auto t1 = std::chrono::steady_clock::now();
   const double wall = std::chrono::duration<double>(t1 - t0).count();
 
   const auto agg = result.aggregate();

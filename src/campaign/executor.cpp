@@ -86,6 +86,10 @@ int resolve_jobs(int requested, std::size_t job_count) {
   return jobs < 1 ? 1 : jobs;
 }
 
+// detlint:capability(threads): the executor is the one sanctioned parallelism
+// site — workers pull jobs from an atomic counter and write results into
+// disjoint index-keyed slots, so campaign output is byte-identical at any
+// --jobs (DESIGN.md, "Determinism contract").
 CampaignResult run_campaign(const CampaignSpec& spec, const ExecutorOptions& options) {
   validate(spec);
 

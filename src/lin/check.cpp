@@ -16,6 +16,10 @@ void fill_general_stats(CheckReport& report) {
 
 }  // namespace
 
+// Declared a deterministic entry point in detlint.toml
+// ([capability.deterministic]): everything reachable from here must be free
+// of wall-clock reads, unseeded randomness, hash-order iteration, and
+// ungranted thread spawns — detlint's reachability pass enforces it.
 CheckReport check(const adt::DataType& type, const std::vector<sim::OpRecord>& ops,
                   const FacadeOptions& options) {
   CheckReport report;

@@ -323,6 +323,10 @@ void World::schedule_invoke(Time when, ProcId proc, std::string op, adt::OpId op
   }
 }
 
+// Declared a deterministic entry point in detlint.toml
+// ([capability.deterministic]): the event loop and everything it dispatches
+// must replay byte-identically from the seed, so detlint's reachability pass
+// bans wall-clock/randomness/hash-order tokens below this frame.
 void World::run(std::uint64_t max_events) {
   std::uint64_t handled = 0;
   if (config_.scheduler == SchedulerKind::kBinaryHeap) {

@@ -181,7 +181,7 @@ TEST(DetlintConfig, EveryRuleHasADescription) {
 
 TEST(DetlintReport, JsonShapeAndEscaping) {
   const std::vector<Finding> findings = {
-      {"a \"quoted\".cpp", 3, "wall-clock", "msg", "excerpt\twith\ttabs"}};
+      {"a \"quoted\".cpp", 3, "wall-clock", "msg", "excerpt\twith\ttabs", "", "", ""}};
   const std::string json = detlint::to_json(findings);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
   EXPECT_NE(json.find("a \\\"quoted\\\".cpp"), std::string::npos);

@@ -1,0 +1,564 @@
+// detlint v2 self-tests: symbol extraction, call graph, interprocedural
+// reachability, ratchet baselines, SARIF shape, and the stale-suppression
+// audit.  The flat-rule engines are covered by detlint_test.cpp; everything
+// here exercises the layers on top of them.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline.hpp"
+#include "callgraph.hpp"
+#include "detail.hpp"
+#include "detlint.hpp"
+#include "sarif.hpp"
+#include "symbols.hpp"
+
+namespace {
+
+using detlint::Analysis;
+using detlint::Config;
+using detlint::FileSymbols;
+using detlint::Finding;
+using detlint::FunctionDef;
+
+std::filesystem::path fixture_dir() { return DETLINT_FIXTURE_DIR; }
+
+FileSymbols symbols_of(const std::string& text) {
+  const auto raw = detlint::detail::split_lines(text);
+  const auto src = detlint::detail::strip_comments_and_strings(raw);
+  return detlint::extract_symbols("test.cpp", raw, src);
+}
+
+const FunctionDef* find_function(const FileSymbols& symbols, const std::string& name) {
+  for (const FunctionDef& f : symbols.functions) {
+    if (f.qualified_name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+/// Scratch tree on disk for analyze_tree tests that need custom sources.
+class TempTree {
+ public:
+  TempTree() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("detlint_v2_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempTree() { std::filesystem::remove_all(dir_); }
+  TempTree(const TempTree&) = delete;
+  TempTree& operator=(const TempTree&) = delete;
+
+  void write(const std::string& rel, const std::string& text) const {
+    std::ofstream out(dir_ / rel, std::ios::binary);
+    out << text;
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return dir_; }
+
+ private:
+  static int counter_;
+  std::filesystem::path dir_;
+};
+
+int TempTree::counter_ = 0;
+
+Config fixture_config(const std::string& tree) {
+  return detlint::load_config(fixture_dir() / tree / "detlint.toml");
+}
+
+// --- symbol pass ------------------------------------------------------------
+
+TEST(DetlintSymbols, QualifiesNamesWithNamespacesAndClasses) {
+  const FileSymbols symbols = symbols_of(
+      "namespace outer { namespace inner {\n"
+      "struct Widget {\n"
+      "  int area() const { return w_ * h_; }\n"
+      "  int w_ = 0, h_ = 0;\n"
+      "};\n"
+      "int free_fn(int x) {\n"
+      "  return x + 1;\n"
+      "}\n"
+      "}  // namespace inner\n"
+      "}  // namespace outer\n");
+  ASSERT_NE(find_function(symbols, "outer::inner::Widget::area"), nullptr);
+  const FunctionDef* free_fn = find_function(symbols, "outer::inner::free_fn");
+  ASSERT_NE(free_fn, nullptr);
+  EXPECT_EQ(free_fn->header_line, 6);
+  EXPECT_EQ(free_fn->body_begin, 6);
+  EXPECT_EQ(free_fn->body_end, 8);
+  EXPECT_TRUE(symbols.errors.empty());
+}
+
+TEST(DetlintSymbols, HandlesOutOfLineDefinitionsAndCtorInitBraces) {
+  const FileSymbols symbols = symbols_of(
+      "namespace sim {\n"
+      "void World::run(int steps) {\n"
+      "  (void)steps;\n"
+      "}\n"
+      "struct Pod {\n"
+      "  Pod() : a_{1}, b_{2} {\n"
+      "    a_ += b_;\n"
+      "  }\n"
+      "  int a_, b_;\n"
+      "};\n"
+      "}  // namespace sim\n");
+  ASSERT_NE(find_function(symbols, "sim::World::run"), nullptr);
+  const FunctionDef* ctor = find_function(symbols, "sim::Pod::Pod");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_EQ(ctor->body_end, 8);
+}
+
+TEST(DetlintSymbols, AttributesLinesToTheInnermostFunction) {
+  const FileSymbols symbols = symbols_of(
+      "void outer_fn() {\n"
+      "  auto lambda = [] {\n"
+      "    int inside = 1;\n"
+      "    (void)inside;\n"
+      "  };\n"
+      "  lambda();\n"
+      "}\n");
+  const FunctionDef* fn = detlint::enclosing_function(symbols, 3);
+  ASSERT_NE(fn, nullptr);
+  // Lambdas are anonymous block scopes: tokens inside attribute to outer_fn.
+  EXPECT_EQ(fn->qualified_name, "outer_fn");
+}
+
+TEST(DetlintSymbols, CapabilityMarkerAboveSignatureGrantsTheFunction) {
+  const FileSymbols symbols = symbols_of(
+      "// detlint:capability(threads): fixture reason\n"
+      "void pool_start() {\n"
+      "}\n"
+      "void ungranted() {\n"
+      "}\n");
+  const FunctionDef* granted = find_function(symbols, "pool_start");
+  ASSERT_NE(granted, nullptr);
+  EXPECT_EQ(granted->capabilities.count("threads"), 1u);
+  const FunctionDef* other = find_function(symbols, "ungranted");
+  ASSERT_NE(other, nullptr);
+  EXPECT_TRUE(other->capabilities.empty());
+  EXPECT_TRUE(symbols.errors.empty());
+}
+
+TEST(DetlintSymbols, CapabilityListSplitsOnPipe) {
+  const FileSymbols symbols = symbols_of(
+      "// detlint:capability(threads|wall-clock): timing harness\n"
+      "void harness() {\n"
+      "}\n");
+  const FunctionDef* fn = find_function(symbols, "harness");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->capabilities.count("threads"), 1u);
+  EXPECT_EQ(fn->capabilities.count("wall-clock"), 1u);
+}
+
+TEST(DetlintSymbols, UnknownCapabilityIsAnError) {
+  const FileSymbols symbols = symbols_of(
+      "// detlint:capability(hyperspeed): nope\n"
+      "void fn() {\n"
+      "}\n");
+  ASSERT_EQ(symbols.errors.size(), 1u);
+  EXPECT_EQ(symbols.errors[0].rule, "bad-capability");
+  EXPECT_NE(symbols.errors[0].message.find("hyperspeed"), std::string::npos);
+}
+
+TEST(DetlintSymbols, UnattachedCapabilityIsAnError) {
+  const FileSymbols symbols = symbols_of(
+      "int x = 0;\n"
+      "// detlint:capability(threads): attaches to nothing\n");
+  ASSERT_EQ(symbols.errors.size(), 1u);
+  EXPECT_EQ(symbols.errors[0].rule, "bad-capability");
+}
+
+// --- call graph -------------------------------------------------------------
+
+TEST(DetlintCallGraph, LinksQualifiedAndUnqualifiedCalls) {
+  const std::string text =
+      "namespace app {\n"
+      "void leaf() {\n"
+      "}\n"
+      "void caller() {\n"
+      "  leaf();\n"
+      "  app::leaf();\n"
+      "}\n"
+      "}  // namespace app\n";
+  const FileSymbols symbols = symbols_of(text);
+  const auto src =
+      detlint::detail::strip_comments_and_strings(detlint::detail::split_lines(text));
+  const detlint::CallGraph graph = detlint::build_call_graph({&symbols}, {&src});
+  ASSERT_EQ(graph.nodes.size(), 2u);
+  int caller = -1;
+  int leaf = -1;
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i]->qualified_name == "app::caller") caller = static_cast<int>(i);
+    if (graph.nodes[i]->qualified_name == "app::leaf") leaf = static_cast<int>(i);
+  }
+  ASSERT_GE(caller, 0);
+  ASSERT_GE(leaf, 0);
+  EXPECT_EQ(graph.edges[static_cast<std::size_t>(caller)],
+            (std::vector<int>{leaf}));
+  EXPECT_TRUE(graph.edges[static_cast<std::size_t>(leaf)].empty());
+}
+
+TEST(DetlintCallGraph, EntryMatchingIsSuffixOnScopeBoundary) {
+  const FileSymbols symbols = symbols_of(
+      "namespace lintime { namespace lin {\n"
+      "int check() {\n"
+      "  return 0;\n"
+      "}\n"
+      "int recheck() {\n"
+      "  return 1;\n"
+      "}\n"
+      "}}\n");
+  const auto src =
+      detlint::detail::strip_comments_and_strings(detlint::detail::split_lines(""));
+  const detlint::CallGraph graph = detlint::build_call_graph({&symbols}, {&src});
+  // "lin::check" matches lintime::lin::check; "check" must NOT match
+  // recheck (suffix only on a :: boundary).
+  EXPECT_EQ(graph.match_entry("lin::check").size(), 1u);
+  EXPECT_EQ(graph.match_entry("check").size(), 1u);
+  EXPECT_TRUE(graph.match_entry("heck").empty());
+}
+
+// --- reachability over the fixture trees ------------------------------------
+
+TEST(DetlintReachability, DirectCallIsReported) {
+  const Analysis analysis =
+      detlint::analyze_tree(fixture_dir() / "reach_direct", fixture_config("reach_direct"));
+  const auto rules = rules_of(analysis.findings);
+  ASSERT_EQ(analysis.findings.size(), 2u);
+  EXPECT_EQ(rules, (std::vector<std::string>{"det-reachability", "thread-spawn"}));
+  EXPECT_NE(analysis.findings[0].message.find("demo::entry -> demo::spawner"),
+            std::string::npos);
+  EXPECT_EQ(analysis.findings[0].function, "demo::spawner");
+  EXPECT_EQ(analysis.findings[0].capability, "threads");
+}
+
+TEST(DetlintReachability, TwoHopChainCrossesFiles) {
+  const Analysis analysis =
+      detlint::analyze_tree(fixture_dir() / "reach_two_hop", fixture_config("reach_two_hop"));
+  ASSERT_EQ(analysis.findings.size(), 2u);
+  EXPECT_EQ(analysis.findings[0].rule, "det-reachability");
+  EXPECT_NE(
+      analysis.findings[0].message.find("demo::entry -> demo::middle -> demo::spawner"),
+      std::string::npos);
+}
+
+TEST(DetlintReachability, CapabilityGrantSilencesFlatAndReachability) {
+  const Analysis analysis =
+      detlint::analyze_tree(fixture_dir() / "reach_granted", fixture_config("reach_granted"));
+  EXPECT_TRUE(analysis.findings.empty());
+  // The grant is load-bearing (it suppresses the flat finding), so the
+  // audit must not call it stale.
+  EXPECT_TRUE(analysis.audit.stale_grants.empty());
+}
+
+TEST(DetlintReachability, FunctionPointerDispatchIsTheKnownMiss) {
+  const Analysis analysis =
+      detlint::analyze_tree(fixture_dir() / "reach_fnptr", fixture_config("reach_fnptr"));
+  // The flat rule still fires; the call graph cannot see through the
+  // pointer, so no det-reachability finding appears (documented limit).
+  EXPECT_EQ(rules_of(analysis.findings), (std::vector<std::string>{"thread-spawn"}));
+}
+
+TEST(DetlintReachability, UnmatchedEntryPointBecomesBadCapability) {
+  Config config = fixture_config("reach_direct");
+  config.deterministic_entries = {"no::such::function"};
+  const Analysis analysis = detlint::analyze_tree(fixture_dir() / "reach_direct", config);
+  bool found = false;
+  for (const Finding& f : analysis.findings) {
+    if (f.rule == "bad-capability" && f.file == "detlint.toml" &&
+        f.message.find("no::such::function") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DetlintReachability, InlineAllowOfBaseRuleDoesNotStopIt) {
+  TempTree tree;
+  tree.write("code.cpp",
+             "#include <thread>\n"
+             "namespace demo {\n"
+             "void spawner() {\n"
+             "  // detlint:allow(thread-spawn): trying to dodge the contract\n"
+             "  std::thread t([] {});\n"
+             "  t.join();\n"
+             "}\n"
+             "void entry() { spawner(); }\n"
+             "}\n");
+  Config config;
+  config.deterministic_entries = {"entry"};
+  const Analysis analysis = detlint::analyze_tree(tree.path(), config, {"code.cpp"});
+  // The inline allow removes the flat finding but NOT the contract
+  // violation: reachable code needs a typed grant or a restructure.
+  EXPECT_EQ(rules_of(analysis.findings), (std::vector<std::string>{"det-reachability"}));
+}
+
+TEST(DetlintReachability, ExplicitReachabilityAllowIsHonored) {
+  TempTree tree;
+  tree.write("code.cpp",
+             "#include <thread>\n"
+             "namespace demo {\n"
+             "void spawner() {\n"
+             "  // detlint:allow(thread-spawn, det-reachability): fixture escape hatch\n"
+             "  std::thread t([] {});\n"
+             "  t.join();\n"
+             "}\n"
+             "void entry() { spawner(); }\n"
+             "}\n");
+  Config config;
+  config.deterministic_entries = {"entry"};
+  const Analysis analysis = detlint::analyze_tree(tree.path(), config, {"code.cpp"});
+  EXPECT_TRUE(analysis.findings.empty());
+}
+
+// --- baselines --------------------------------------------------------------
+
+std::vector<Finding> scan_with_fingerprints(const std::string& text) {
+  std::vector<Finding> findings = detlint::scan_source("mem.cpp", text, Config{});
+  detlint::assign_fingerprints(findings);
+  return findings;
+}
+
+TEST(DetlintBaseline, FingerprintsSurviveLineShifts) {
+  const std::string body =
+      "void fn() {\n"
+      "  auto now = std::chrono::steady_clock::now();\n"
+      "  (void)now;\n"
+      "}\n";
+  const auto a = scan_with_fingerprints(body);
+  const auto b = scan_with_fingerprints("// padding\n// more padding\n\n" + body);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(a[0].fingerprint, b[0].fingerprint);
+}
+
+TEST(DetlintBaseline, OrdinalsDisambiguateIdenticalFindings) {
+  const auto findings = scan_with_fingerprints(
+      "void fn() {\n"
+      "  auto t0 = std::chrono::steady_clock::now();\n"
+      "  auto t0b = std::chrono::steady_clock::now();\n"
+      "  auto t0c = std::chrono::steady_clock::now();\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 3u);
+  // Different excerpts -> different stems here; force identical context.
+  std::vector<Finding> same = {findings[0], findings[0], findings[0]};
+  detlint::assign_fingerprints(same);
+  EXPECT_EQ(same[1].fingerprint, same[0].fingerprint + "~1");
+  EXPECT_EQ(same[2].fingerprint, same[0].fingerprint + "~2");
+}
+
+TEST(DetlintBaseline, RoundTripThenRatchet) {
+  const std::string original =
+      "void fn() {\n"
+      "  auto now = std::chrono::steady_clock::now();\n"
+      "  std::mt19937_64 rng;\n"
+      "}\n";
+  const auto findings = scan_with_fingerprints(original);
+  ASSERT_EQ(findings.size(), 2u);
+
+  std::ostringstream text;
+  detlint::write_baseline(text, detlint::baseline_from(findings));
+  const detlint::Baseline parsed = detlint::parse_baseline(text.str());
+  ASSERT_EQ(parsed.entries.size(), 2u);
+
+  // Same source: everything matches, nothing fresh, nothing stale.
+  const auto diff0 = detlint::diff_against(parsed, scan_with_fingerprints(original));
+  EXPECT_TRUE(diff0.fresh.empty());
+  EXPECT_EQ(diff0.matched, 2u);
+  EXPECT_TRUE(diff0.stale.empty());
+
+  // Inject one violation: exactly one fresh finding.
+  const auto diff1 = detlint::diff_against(
+      parsed, scan_with_fingerprints(
+                  "void fn() {\n"
+                  "  auto now = std::chrono::steady_clock::now();\n"
+                  "  std::mt19937_64 rng;\n"
+                  "  std::thread t([] {});\n"
+                  "}\n"));
+  ASSERT_EQ(diff1.fresh.size(), 1u);
+  EXPECT_EQ(diff1.fresh[0].rule, "thread-spawn");
+
+  // Fix one violation: it shows up as stale, nothing fresh.
+  const auto diff2 = detlint::diff_against(
+      parsed, scan_with_fingerprints(
+                  "void fn() {\n"
+                  "  auto now = std::chrono::steady_clock::now();\n"
+                  "}\n"));
+  EXPECT_TRUE(diff2.fresh.empty());
+  ASSERT_EQ(diff2.stale.size(), 1u);
+  EXPECT_EQ(diff2.stale[0].rule, "unseeded-engine");
+}
+
+TEST(DetlintBaseline, ParserRejectsGarbage) {
+  EXPECT_THROW(detlint::parse_baseline("{\"version\": 2, \"findings\": []}"),
+               std::runtime_error);
+  EXPECT_THROW(detlint::parse_baseline("{\"surprise\": []}"), std::runtime_error);
+  EXPECT_THROW(detlint::parse_baseline("not json"), std::runtime_error);
+}
+
+// --- SARIF ------------------------------------------------------------------
+
+TEST(DetlintSarif, EmitsSchemaDriverRulesAndResults) {
+  std::vector<Finding> findings = {{"src/a.cpp", 7, "wall-clock", "msg \"quoted\"",
+                                    "excerpt", "ns::fn", "wall-clock", "wall-clock@ns::fn#x"}};
+  std::ostringstream os;
+  detlint::write_sarif(os, findings);
+  const std::string sarif = os.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"detlint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"wall-clock\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"detlint/v1\": \"wall-clock@ns::fn#x\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(sarif.find("msg \\\"quoted\\\""), std::string::npos);
+  // Every rule id appears in the driver catalog.
+  for (const std::string& rule : detlint::all_rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""), std::string::npos) << rule;
+  }
+}
+
+TEST(DetlintSarif, EmptyFindingsStillProduceAValidRun) {
+  std::ostringstream os;
+  detlint::write_sarif(os, {});
+  EXPECT_NE(os.str().find("\"results\": []"), std::string::npos);
+}
+
+// --- audit ------------------------------------------------------------------
+
+TEST(DetlintAudit, ReportsStaleInlineGrantAndGlob) {
+  TempTree tree;
+  tree.write("code.cpp",
+             "// detlint:allow(wall-clock): nothing here trips it anymore\n"
+             "int clean_value = 3;\n"
+             "// detlint:capability(rng): never used, never reachable\n"
+             "void decorative() {\n"
+             "}\n");
+  Config config;
+  config.rules["thread-spawn"].allow_paths = {"legacy/*"};
+  const Analysis analysis = detlint::analyze_tree(tree.path(), config, {"code.cpp"});
+  EXPECT_TRUE(analysis.findings.empty());
+  ASSERT_EQ(analysis.audit.stale_inline.size(), 1u);
+  EXPECT_EQ(analysis.audit.stale_inline[0].rule, "wall-clock");
+  EXPECT_EQ(analysis.audit.stale_inline[0].line, 1);
+  ASSERT_EQ(analysis.audit.stale_grants.size(), 1u);
+  EXPECT_EQ(analysis.audit.stale_grants[0].function, "decorative");
+  EXPECT_EQ(analysis.audit.stale_grants[0].capability, "rng");
+  ASSERT_EQ(analysis.audit.stale_allow_globs.size(), 1u);
+  EXPECT_EQ(analysis.audit.stale_allow_globs[0].pattern, "legacy/*");
+}
+
+TEST(DetlintAudit, LiveSuppressionsAreNotStale) {
+  TempTree tree;
+  tree.write("code.cpp",
+             "void fn() {\n"
+             "  // detlint:allow(wall-clock): deliberate timing read\n"
+             "  auto now = std::chrono::steady_clock::now();\n"
+             "  (void)now;\n"
+             "}\n");
+  const Analysis analysis = detlint::analyze_tree(tree.path(), Config{}, {"code.cpp"});
+  EXPECT_TRUE(analysis.findings.empty());
+  EXPECT_TRUE(analysis.audit.empty());
+}
+
+TEST(DetlintAudit, WriteAuditMentionsEveryChannel) {
+  detlint::AuditReport report;
+  report.stale_inline.push_back({"a.cpp", 3, "wall-clock"});
+  report.stale_grants.push_back({"b.cpp", 9, "ns::fn", "threads"});
+  report.stale_allow_globs.push_back({"thread-spawn", "legacy/*"});
+  std::ostringstream os;
+  detlint::write_audit(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("a.cpp:3"), std::string::npos);
+  EXPECT_NE(text.find("ns::fn"), std::string::npos);
+  EXPECT_NE(text.find("legacy/*"), std::string::npos);
+  EXPECT_NE(text.find("3 stale suppressions"), std::string::npos);
+}
+
+// --- config & JSON surface --------------------------------------------------
+
+TEST(DetlintConfigV2, ParsesDeterministicEntryPoints) {
+  TempTree tree;
+  tree.write("detlint.toml",
+             "[scan]\n"
+             "roots = [\"src\"]\n"
+             "[capability.deterministic]\n"
+             "entry-points = [\"lin::check\", \"sim::World::run\"]\n");
+  const Config config = detlint::load_config(tree.path() / "detlint.toml");
+  EXPECT_EQ(config.deterministic_entries,
+            (std::vector<std::string>{"lin::check", "sim::World::run"}));
+}
+
+TEST(DetlintConfigV2, RejectsUnknownCapabilityKey) {
+  TempTree tree;
+  tree.write("detlint.toml",
+             "[capability.deterministic]\n"
+             "entrypoints = [\"typo\"]\n");
+  EXPECT_THROW(detlint::load_config(tree.path() / "detlint.toml"), std::runtime_error);
+}
+
+TEST(DetlintReport, JsonCarriesFunctionCapabilityAndFingerprint) {
+  std::vector<Finding> findings = {{"a.cpp", 2, "thread-spawn", "m", "e", "ns::fn",
+                                    "threads", "thread-spawn@ns::fn#e"}};
+  const std::string json = detlint::to_json(findings);
+  EXPECT_NE(json.find("\"function\":\"ns::fn\""), std::string::npos);
+  EXPECT_NE(json.find("\"capability\":\"threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\":\"thread-spawn@ns::fn#e\""), std::string::npos);
+}
+
+// --- stripper regressions (unit-level; fixtures cover the CLI path) ---------
+
+TEST(DetlintStripper, MacroAdjacentRIsNotARawString) {
+  const auto findings = detlint::scan_source(
+      "t.cpp",
+      "#define GLYPH_R \"R:\"\n"
+      "const char* s = GLYPH_R\"x(text)\";\n"
+      "int f() { return std::rand(); }\n",
+      Config{});
+  EXPECT_EQ(rules_of(findings), (std::vector<std::string>{"global-rand"}));
+}
+
+TEST(DetlintStripper, RawStringWithCustomDelimiterSwallowsItsBody) {
+  const auto findings = detlint::scan_source(
+      "t.cpp",
+      "const char* s = R\"x(\n"
+      "std::thread t(worker); time(nullptr);\n"
+      ")x\";\n"
+      "int ok = 1;\n",
+      Config{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetlintStripper, SplicedStringKeepsTrailingCodeVisible) {
+  const auto findings = detlint::scan_source(
+      "t.cpp",
+      "const char* s = \"continues \\\n"
+      "still string\" ; int v = std::rand();\n",
+      Config{});
+  EXPECT_EQ(rules_of(findings), (std::vector<std::string>{"global-rand"}));
+}
+
+TEST(DetlintStripper, ContinuedLineCommentStaysAComment) {
+  const auto findings = detlint::scan_source(
+      "t.cpp",
+      "// continues \\\n"
+      "std::rand(); time(nullptr); std::thread t(w);\n"
+      "int ok = 2;\n",
+      Config{});
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace

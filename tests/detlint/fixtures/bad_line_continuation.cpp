@@ -1,0 +1,9 @@
+// Regression fixture for backslash-spliced string literals.  The literal
+// below continues across the escaped newline; the closing line then carries
+// real code after the closing quote.  The v1 stripper dropped string state at
+// the line boundary, treated `still string" ;` as code opening a *new*
+// string, and swallowed the rand() call behind it.
+#include <cstdlib>
+
+const char* spliced = "this literal continues \
+still string" ; int not_hidden = std::rand();

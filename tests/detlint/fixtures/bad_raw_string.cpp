@@ -1,0 +1,14 @@
+// Regression fixture for the stripper's raw-string prefix check.  GLYPH_R is
+// a macro token ending in R: `GLYPH_R"x(text)"` is the macro followed by an
+// ordinary string literal, NOT a raw string with delimiter "x".  The v1
+// stripper entered raw-string mode here, searched for a `)x"` terminator that
+// never comes, and swallowed the rest of the file — hiding the rand() below.
+#include <cstdlib>
+
+#define GLYPH_R "R:"
+
+const char* tagged = GLYPH_R"x(text)";
+
+int not_hidden() {
+  return std::rand();  // must still be reported (global-rand)
+}

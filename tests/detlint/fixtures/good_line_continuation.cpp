@@ -1,0 +1,10 @@
+// Regression fixture for backslash-continued // comments: the comment below
+// extends across escaped newlines, so its continuation lines are comment
+// text, not code.  The v1 stripper scanned them as code and reported every
+// banned token in the prose.  Must scan clean.
+
+// This comment keeps going \
+   std::rand(); time(nullptr); std::thread t(worker); \
+   std::mt19937_64 rng; still comment text
+
+int fine() { return 3; }

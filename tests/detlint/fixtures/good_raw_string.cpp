@@ -1,0 +1,16 @@
+// Genuine raw string literals, including custom delimiters, encoding
+// prefixes, and multi-line bodies.  Every banned token below lives inside a
+// literal, so the file must scan clean.
+const char* plain = R"(std::rand() and time(nullptr) are inert here)";
+
+const char* custom_delim = R"x(even a ")" quote-paren: std::thread t; )x";
+
+const char* encoded = u8R"(srand(42) inside a u8 raw string)";
+
+const char* multi_line = R"doc(
+  std::thread worker(run);
+  auto now = std::chrono::steady_clock::now();
+  std::mt19937_64 rng;
+)doc";
+
+int after_the_literals() { return 7; }

@@ -1,0 +1,12 @@
+#include <thread>
+
+namespace demo {
+
+void spawner() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+void entry() { spawner(); }
+
+}  // namespace demo

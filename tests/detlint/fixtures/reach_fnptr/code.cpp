@@ -1,0 +1,19 @@
+#include <thread>
+
+namespace demo {
+
+void spawner() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+using Hook = void (*)();
+
+Hook pick() { return &spawner; }
+
+void entry() {
+  const Hook hook = pick();
+  hook();  // dispatch through the pointer: invisible to the call graph
+}
+
+}  // namespace demo

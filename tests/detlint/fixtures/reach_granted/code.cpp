@@ -1,0 +1,14 @@
+#include <thread>
+
+namespace demo {
+
+// detlint:capability(threads): fixture — this function is the sanctioned
+// parallelism site, results land in index-keyed slots.
+void spawner() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+void entry() { spawner(); }
+
+}  // namespace demo

@@ -1,0 +1,7 @@
+namespace demo {
+
+void middle();
+
+void entry() { middle(); }
+
+}  // namespace demo

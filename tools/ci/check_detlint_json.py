@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Pins the shape of `detlint --json` output.
+
+Stdlib-only on purpose: CI (and anyone locally) can run it with a bare
+python3.  Reads the JSON document from the file named on the command line,
+or from stdin when no argument is given.  Exits nonzero with a message on
+the first shape violation.
+"""
+
+import json
+import sys
+
+FINDING_KEYS = {
+    "file": str,
+    "line": int,
+    "rule": str,
+    "message": str,
+    "excerpt": str,
+    "function": str,
+    "capability": str,
+    "fingerprint": str,
+}
+
+
+def fail(message: str) -> None:
+    print(f"check_detlint_json: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) > 2:
+        fail("usage: check_detlint_json.py [report.json]")
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        fail(f"not valid JSON: {err}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if set(doc) != {"count", "findings"}:
+        fail(f"top-level keys must be exactly count+findings, got {sorted(doc)}")
+    if not isinstance(doc["count"], int):
+        fail("count must be an integer")
+    if not isinstance(doc["findings"], list):
+        fail("findings must be a list")
+    if doc["count"] != len(doc["findings"]):
+        fail(f"count={doc['count']} but {len(doc['findings'])} findings listed")
+
+    for i, finding in enumerate(doc["findings"]):
+        if not isinstance(finding, dict):
+            fail(f"findings[{i}] is not an object")
+        if set(finding) != set(FINDING_KEYS):
+            fail(
+                f"findings[{i}] keys must be exactly {sorted(FINDING_KEYS)}, "
+                f"got {sorted(finding)}"
+            )
+        for key, expected in FINDING_KEYS.items():
+            if not isinstance(finding[key], expected):
+                fail(f"findings[{i}].{key} must be {expected.__name__}")
+        if finding["line"] < 0:
+            fail(f"findings[{i}].line is negative")
+        if not finding["rule"]:
+            fail(f"findings[{i}].rule is empty")
+        if not finding["fingerprint"]:
+            fail(f"findings[{i}].fingerprint is empty")
+
+    print(f"check_detlint_json: OK ({doc['count']} finding(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Structural validator for detlint's SARIF 2.1.0 output.
+
+Stdlib-only: no jsonschema dependency.  Checks the invariants the upload
+consumer (github/codeql-action/upload-sarif) and our triage docs rely on:
+schema/version markers, the detlint driver with a complete rule catalog,
+and well-formed results whose ruleIds resolve against that catalog.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_sarif: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(obj, key, kind, where):
+    if not isinstance(obj, dict) or key not in obj:
+        fail(f"{where} is missing '{key}'")
+    value = obj[key]
+    if not isinstance(value, kind):
+        fail(f"{where}.{key} must be {kind.__name__}")
+    return value
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_sarif.py report.sarif")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(f"not valid JSON: {err}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("version") != "2.1.0":
+        fail(f"version must be '2.1.0', got {doc.get('version')!r}")
+    schema = require(doc, "$schema", str, "log")
+    if "sarif-schema-2.1.0" not in schema:
+        fail(f"$schema does not name sarif-schema-2.1.0: {schema}")
+
+    runs = require(doc, "runs", list, "log")
+    if len(runs) != 1:
+        fail(f"expected exactly one run, got {len(runs)}")
+    run = runs[0]
+
+    tool = require(run, "tool", dict, "run")
+    driver = require(tool, "driver", dict, "run.tool")
+    if require(driver, "name", str, "driver") != "detlint":
+        fail("driver.name must be 'detlint'")
+    require(driver, "version", str, "driver")
+
+    rules = require(driver, "rules", list, "driver")
+    if not rules:
+        fail("driver.rules is empty")
+    rule_ids = set()
+    for i, rule in enumerate(rules):
+        rule_id = require(rule, "id", str, f"rules[{i}]")
+        desc = require(rule, "shortDescription", dict, f"rules[{i}]")
+        if not require(desc, "text", str, f"rules[{i}].shortDescription"):
+            fail(f"rules[{i}].shortDescription.text is empty")
+        if rule_id in rule_ids:
+            fail(f"duplicate rule id {rule_id!r}")
+        rule_ids.add(rule_id)
+
+    results = require(run, "results", list, "run")
+    for i, result in enumerate(results):
+        where = f"results[{i}]"
+        rule_id = require(result, "ruleId", str, where)
+        if rule_id not in rule_ids:
+            fail(f"{where}.ruleId {rule_id!r} is not in the driver catalog")
+        if require(result, "level", str, where) not in ("error", "warning", "note"):
+            fail(f"{where}.level is not a SARIF level")
+        message = require(result, "message", dict, where)
+        if not require(message, "text", str, f"{where}.message"):
+            fail(f"{where}.message.text is empty")
+        prints = require(result, "partialFingerprints", dict, where)
+        if "detlint/v1" not in prints:
+            fail(f"{where}.partialFingerprints is missing detlint/v1")
+        locations = require(result, "locations", list, where)
+        if len(locations) != 1:
+            fail(f"{where} must carry exactly one location")
+        physical = require(locations[0], "physicalLocation", dict, f"{where}.locations[0]")
+        artifact = require(physical, "artifactLocation", dict, f"{where}.physicalLocation")
+        if not require(artifact, "uri", str, f"{where}.artifactLocation"):
+            fail(f"{where}.artifactLocation.uri is empty")
+        region = require(physical, "region", dict, f"{where}.physicalLocation")
+        start = require(region, "startLine", int, f"{where}.region")
+        if start < 1:
+            fail(f"{where}.region.startLine must be >= 1")
+
+    print(f"check_sarif: OK ({len(results)} result(s), {len(rules)} rule(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,240 @@
+// detlint whole-tree analysis: file discovery, the per-file flat scans, the
+// cross-file call-graph/reachability layer, fingerprint assignment, and the
+// stale-suppression audit.  This is the only place the passes meet; each
+// individual pass stays testable on its own.
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "baseline.hpp"
+#include "callgraph.hpp"
+#include "detlint.hpp"
+#include "reachability.hpp"
+#include "scan_internal.hpp"
+
+namespace detlint {
+
+namespace internal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool eligible_extension(const std::string& rel, const Config& config) {
+  for (const std::string& ext : config.extensions) {
+    if (rel.size() >= ext.size() &&
+        rel.compare(rel.size() - ext.size(), ext.size(), ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool excluded(const std::string& rel, const Config& config) {
+  for (const std::string& pattern : config.exclude) {
+    if (glob_match(pattern, rel)) return true;
+  }
+  return false;
+}
+
+void add_tree(const fs::path& root, const fs::path& dir, const Config& config,
+              std::vector<std::string>& out) {
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string rel = fs::relative(entry.path(), root).generic_string();
+    if (!eligible_extension(rel, config) || excluded(rel, config)) continue;
+    out.push_back(rel);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> list_files(const std::filesystem::path& root, const Config& config,
+                                    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  if (paths.empty()) {
+    for (const std::string& r : config.roots) {
+      const fs::path dir = root / r;
+      if (fs::is_directory(dir)) add_tree(root, dir, config, files);
+    }
+  } else {
+    for (const std::string& p : paths) {
+      const fs::path abs = root / p;
+      if (fs::is_directory(abs)) {
+        add_tree(root, abs, config, files);
+      } else if (fs::is_regular_file(abs)) {
+        // Explicitly named files are scanned even off-extension; the caller
+        // asked for exactly this file.
+        files.push_back(fs::path(p).generic_string());
+      } else {
+        throw std::runtime_error("detlint: no such file or directory: " + p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string read_file(const std::filesystem::path& abs, const std::string& rel) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) throw std::runtime_error("detlint: cannot read " + rel);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace internal
+
+namespace {
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+}
+
+}  // namespace
+
+Analysis analyze_tree(const std::filesystem::path& root, const Config& config,
+                      const std::vector<std::string>& paths) {
+  const std::vector<std::string> files = internal::list_files(root, config, paths);
+  std::vector<internal::FileScan> scans;
+  scans.reserve(files.size());
+  for (const std::string& rel : files) {
+    scans.push_back(internal::scan_file(rel, internal::read_file(root / rel, rel), config));
+  }
+
+  std::vector<const FileSymbols*> symbol_files;
+  std::vector<const detail::StrippedSource*> sources;
+  symbol_files.reserve(scans.size());
+  sources.reserve(scans.size());
+  for (const internal::FileScan& scan : scans) {
+    symbol_files.push_back(&scan.symbols);
+    sources.push_back(&scan.src);
+  }
+  const CallGraph graph = build_call_graph(symbol_files, sources);
+  const ReachablePaths reach = compute_reachability(graph, config.deterministic_entries);
+
+  // detlint:allow(pointer-key): lookup-only index, never iterated
+  std::map<const FunctionDef*, int> node_index;
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    node_index[graph.nodes[i]] = static_cast<int>(i);
+  }
+
+  Analysis out;
+  for (internal::FileScan& scan : scans) {
+    out.findings.insert(out.findings.end(), scan.kept.begin(), scan.kept.end());
+    if (!config.rule_enabled("det-reachability", scan.path)) continue;
+    for (const Finding& f : scan.raw_findings) {
+      // A raw finding escalates to det-reachability when its capability's
+      // BFS reached the enclosing function.  Granted functions are never in
+      // the reachable set (the grant cuts the walk), so grant coverage is
+      // already accounted for here.
+      if (f.capability.empty() || f.function.empty()) continue;
+      if (!config.rule_enabled(f.rule, scan.path)) continue;
+      const FunctionDef* fn = enclosing_function(scan.symbols, f.line);
+      if (fn == nullptr) continue;
+      const auto ni = node_index.find(fn);
+      if (ni == node_index.end()) continue;
+      const auto cap_it = reach.by_capability.find(f.capability);
+      if (cap_it == reach.by_capability.end()) continue;
+      const auto path_it = cap_it->second.find(ni->second);
+      if (path_it == cap_it->second.end()) continue;
+      // Inline allows of the *base* rule are deliberately not consulted —
+      // but one naming det-reachability itself is.
+      const auto sup_it = scan.suppressions.find(f.line);
+      if (sup_it != scan.suppressions.end() &&
+          sup_it->second.count("det-reachability") != 0) {
+        scan.suppressions_hit.insert({f.line, "det-reachability"});
+        continue;
+      }
+      Finding r = f;
+      r.rule = "det-reachability";
+      r.message = reachability_message(f.rule, f.capability, path_it->second);
+      out.findings.push_back(std::move(r));
+    }
+  }
+  for (const std::string& entry : reach.unmatched_entries) {
+    if (!config.rule_enabled("bad-capability", "detlint.toml")) continue;
+    out.findings.push_back(
+        {"detlint.toml", 0, "bad-capability",
+         "deterministic entry point '" + entry +
+             "' matches no function definition in the scanned tree; fix the name in "
+             "[capability.deterministic] or remove it",
+         "", "", "", ""});
+  }
+  sort_findings(out.findings);
+  assign_fingerprints(out.findings);
+
+  // ---- stale-suppression audit --------------------------------------------
+  // Grant staleness needs "would the deterministic context reach this
+  // function if grants were ignored": a grant that neither silences a flat
+  // finding nor shields an entry-reachable subtree is decorative.
+  std::vector<char> plain_reach(graph.nodes.size(), 0);
+  std::vector<int> queue;
+  for (const std::string& entry : config.deterministic_entries) {
+    for (const int idx : graph.match_entry(entry)) {
+      if (plain_reach[idx] == 0) {
+        plain_reach[idx] = 1;
+        queue.push_back(idx);
+      }
+    }
+  }
+  for (std::size_t q = 0; q < queue.size(); ++q) {
+    for (const int next : graph.edges[queue[q]]) {
+      if (plain_reach[next] == 0) {
+        plain_reach[next] = 1;
+        queue.push_back(next);
+      }
+    }
+  }
+
+  for (const internal::FileScan& scan : scans) {
+    for (const auto& [key, marker] : scan.suppression_marker_line) {
+      if (scan.suppressions_hit.count(key) == 0) {
+        out.audit.stale_inline.push_back({scan.path, marker, key.second});
+      }
+    }
+    for (std::size_t i = 0; i < scan.symbols.functions.size(); ++i) {
+      const FunctionDef& fn = scan.symbols.functions[i];
+      const auto ni = node_index.find(&fn);
+      const bool shields =
+          ni != node_index.end() && plain_reach[ni->second] != 0;
+      for (const std::string& cap : fn.capabilities) {
+        if (shields || scan.grants_hit.count({static_cast<int>(i), cap}) != 0) continue;
+        out.audit.stale_grants.push_back({scan.path, fn.header_line, fn.qualified_name, cap});
+      }
+    }
+  }
+  for (const auto& [rule, rule_config] : config.rules) {
+    for (const std::string& pattern : rule_config.allow_paths) {
+      bool used = false;
+      for (const internal::FileScan& scan : scans) {
+        if (used) break;
+        if (!glob_match(pattern, scan.path)) continue;
+        for (const Finding& f : scan.raw_findings) {
+          if (f.rule == rule) {
+            used = true;
+            break;
+          }
+        }
+      }
+      if (!used) out.audit.stale_allow_globs.push_back({rule, pattern});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> scan_tree(const std::filesystem::path& root, const Config& config,
+                               const std::vector<std::string>& paths) {
+  return analyze_tree(root, config, paths).findings;
+}
+
+}  // namespace detlint

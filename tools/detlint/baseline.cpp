@@ -1,0 +1,237 @@
+// detlint ratchet baseline (see baseline.hpp).  The JSON reader below is a
+// minimal parser for exactly the flat shape write_baseline emits — same
+// philosophy as the mini-TOML config: no dependency, strict errors.
+
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "detail.hpp"
+
+namespace detlint {
+
+namespace {
+
+std::string normalize_context(const std::string& excerpt) {
+  std::string out;
+  bool in_ws = false;
+  for (const char c : excerpt) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      in_ws = !out.empty();
+      continue;
+    }
+    if (in_ws) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string scope_of(const Finding& f) {
+  return f.function.empty() ? f.file : f.function;
+}
+
+/// Fingerprint without the ordinal suffix.
+std::string fingerprint_stem(const Finding& f) {
+  return f.rule + "@" + scope_of(f) + "#" + normalize_context(f.excerpt);
+}
+
+// --- tiny JSON reader for the baseline file shape ---------------------------
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("detlint baseline: " + what + " at offset " +
+                             std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  void expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            // \u00XX — write_baseline only emits control characters here.
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
+            c = static_cast<char>(std::stoi(text.substr(pos, 4), nullptr, 16));
+            pos += 4;
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+  long int_value() {
+    skip_ws();
+    std::size_t end = pos;
+    if (end < text.size() && text[end] == '-') ++end;
+    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end])) != 0) {
+      ++end;
+    }
+    if (end == pos) fail("expected an integer");
+    const long value = std::stol(text.substr(pos, end - pos));
+    pos = end;
+    return value;
+  }
+};
+
+}  // namespace
+
+void assign_fingerprints(std::vector<Finding>& findings) {
+  std::map<std::string, int> seen;
+  for (Finding& f : findings) {
+    const std::string stem = fingerprint_stem(f);
+    const int ordinal = seen[stem]++;
+    f.fingerprint = ordinal == 0 ? stem : stem + "~" + std::to_string(ordinal);
+  }
+}
+
+Baseline baseline_from(const std::vector<Finding>& findings) {
+  Baseline out;
+  out.entries.reserve(findings.size());
+  for (const Finding& f : findings) {
+    out.entries.push_back(
+        {f.fingerprint, f.rule, scope_of(f), normalize_context(f.excerpt)});
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+Baseline parse_baseline(const std::string& text) {
+  JsonCursor cur{text};
+  Baseline out;
+  cur.expect('{');
+  bool first_key = true;
+  while (!cur.peek('}')) {
+    if (!first_key) cur.expect(',');
+    first_key = false;
+    const std::string key = cur.string_value();
+    cur.expect(':');
+    if (key == "version") {
+      const long version = cur.int_value();
+      if (version != 1) {
+        throw std::runtime_error("detlint baseline: unsupported version " +
+                                 std::to_string(version));
+      }
+    } else if (key == "findings") {
+      cur.expect('[');
+      bool first = true;
+      while (!cur.peek(']')) {
+        if (!first) cur.expect(',');
+        first = false;
+        cur.expect('{');
+        BaselineEntry entry;
+        bool first_field = true;
+        while (!cur.peek('}')) {
+          if (!first_field) cur.expect(',');
+          first_field = false;
+          const std::string field = cur.string_value();
+          cur.expect(':');
+          const std::string value = cur.string_value();
+          if (field == "fingerprint") entry.fingerprint = value;
+          else if (field == "rule") entry.rule = value;
+          else if (field == "scope") entry.scope = value;
+          else if (field == "context") entry.context = value;
+          else cur.fail("unknown finding field '" + field + "'");
+        }
+        cur.expect('}');
+        if (entry.fingerprint.empty()) cur.fail("finding without a fingerprint");
+        out.entries.push_back(std::move(entry));
+      }
+      cur.expect(']');
+    } else {
+      cur.fail("unknown key '" + key + "'");
+    }
+  }
+  cur.expect('}');
+  return out;
+}
+
+Baseline load_baseline(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("detlint: cannot read baseline " + path.string());
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_baseline(text.str());
+}
+
+void write_baseline(std::ostream& os, const Baseline& baseline) {
+  Baseline sorted = baseline;
+  std::sort(sorted.entries.begin(), sorted.entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  os << "{\n  \"version\": 1,\n  \"findings\": [";
+  for (std::size_t i = 0; i < sorted.entries.size(); ++i) {
+    const BaselineEntry& e = sorted.entries[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"fingerprint\": \"" << detail::json_escape(e.fingerprint)
+       << "\", \"rule\": \"" << detail::json_escape(e.rule) << "\", \"scope\": \""
+       << detail::json_escape(e.scope) << "\", \"context\": \""
+       << detail::json_escape(e.context) << "\"}";
+  }
+  os << (sorted.entries.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+BaselineDiff diff_against(const Baseline& baseline, const std::vector<Finding>& findings) {
+  BaselineDiff diff;
+  std::map<std::string, int> budget;
+  for (const BaselineEntry& e : baseline.entries) ++budget[e.fingerprint];
+  for (const Finding& f : findings) {
+    const auto it = budget.find(f.fingerprint);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++diff.matched;
+    } else {
+      diff.fresh.push_back(f);
+    }
+  }
+  for (const BaselineEntry& e : baseline.entries) {
+    auto& remaining = budget[e.fingerprint];
+    if (remaining > 0) {
+      --remaining;
+      diff.stale.push_back(e);
+    }
+  }
+  return diff;
+}
+
+}  // namespace detlint

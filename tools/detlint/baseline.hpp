@@ -1,0 +1,65 @@
+#pragma once
+// detlint ratchet baseline: known findings are recorded with stable
+// fingerprints so CI fails only on *new* findings while the legacy count
+// can only go down.
+//
+// A fingerprint is `rule@scope#context[~ordinal]` where scope is the
+// qualified enclosing function (the file path at namespace scope) and
+// context is the whitespace-normalized source excerpt.  Line numbers are
+// deliberately absent: editing unrelated code above a baselined finding
+// must not resurrect it.  The ordinal disambiguates identical (rule,
+// scope, context) triples, numbered in report order.
+//
+// Workflow: `detlint --write-baseline detlint-baseline.json` records the
+// current findings; `detlint --baseline detlint-baseline.json` then exits 0
+// unless a finding outside the baseline appears.  Entries whose finding was
+// fixed are reported as stale — re-run --write-baseline to ratchet the
+// file down (it should only ever shrink).
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace detlint {
+
+struct BaselineEntry {
+  std::string fingerprint;
+  std::string rule;
+  std::string scope;
+  std::string context;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Fills `Finding::fingerprint` for every finding (idempotent; ordinals are
+/// assigned in list order, so pass the full, sorted report).
+void assign_fingerprints(std::vector<Finding>& findings);
+
+Baseline baseline_from(const std::vector<Finding>& findings);
+
+/// Parses the baseline JSON written by write_baseline.  Throws
+/// std::runtime_error on malformed input.
+Baseline parse_baseline(const std::string& text);
+Baseline load_baseline(const std::filesystem::path& path);
+
+/// Deterministic JSON, entries sorted by fingerprint.
+void write_baseline(std::ostream& os, const Baseline& baseline);
+
+struct BaselineDiff {
+  /// Findings absent from the baseline — the ones that fail CI.
+  std::vector<Finding> fresh;
+  /// How many findings the baseline absorbed.
+  std::size_t matched = 0;
+  /// Baseline entries that no longer match any finding (fixed since the
+  /// baseline was written; ratchet candidates).
+  std::vector<BaselineEntry> stale;
+};
+
+BaselineDiff diff_against(const Baseline& baseline, const std::vector<Finding>& findings);
+
+}  // namespace detlint

@@ -1,0 +1,141 @@
+// detlint call-graph pass (see callgraph.hpp).
+
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace detlint {
+
+namespace {
+
+using detail::is_ident;
+using detail::skip_ws;
+
+/// Tokens that look like calls but never are.
+bool is_call_keyword(const std::string& word) {
+  static const std::array<const char*, 24> kWords = {
+      "if",       "for",          "while",     "switch",      "catch",
+      "return",   "sizeof",       "alignof",   "alignas",     "decltype",
+      "noexcept", "new",          "delete",    "throw",       "assert",
+      "static_assert", "typeid",  "co_await",  "co_return",   "co_yield",
+      "static_cast",   "dynamic_cast", "const_cast", "reinterpret_cast"};
+  return std::any_of(kWords.begin(), kWords.end(),
+                     [&](const char* w) { return word == w; });
+}
+
+/// Collects qualified call tokens (`name(` with optional `<...>` between)
+/// from one stripped code line into `out`.
+void collect_call_tokens(const std::string& line, std::set<std::string>& out) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (!is_ident(line[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size() && is_ident(line[i])) ++i;
+    // Extend left over `Ns::` qualifiers already consumed?  We scan left to
+    // right, so a qualified token arrives as ident "::" ident ... — stitch
+    // forward instead: keep extending while `::ident` follows.
+    std::string token = line.substr(start, i - start);
+    while (i + 1 < line.size() && line[i] == ':' && line[i + 1] == ':') {
+      std::size_t j = i + 2;
+      std::size_t word = j;
+      while (word < line.size() && is_ident(line[word])) ++word;
+      if (word == j) break;
+      token += "::" + line.substr(j, word - j);
+      i = word;
+    }
+    std::size_t p = skip_ws(line, i);
+    // Skip single-line template arguments: `max<int>(...)`.
+    if (p < line.size() && line[p] == '<') {
+      const std::size_t close = detail::match_angle(line, p);
+      if (close != std::string::npos) p = skip_ws(line, close + 1);
+    }
+    if (p < line.size() && line[p] == '(') {
+      const std::size_t base_at = token.rfind("::");
+      const std::string base =
+          base_at == std::string::npos ? token : token.substr(base_at + 2);
+      if (!is_call_keyword(base) && base != "operator") out.insert(token);
+    }
+  }
+}
+
+/// True if `qualified` equals `suffix` or ends with `::suffix`.
+bool suffix_match(const std::string& qualified, const std::string& suffix) {
+  if (qualified == suffix) return true;
+  if (qualified.size() <= suffix.size() + 2) return false;
+  return qualified.compare(qualified.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+         qualified.compare(qualified.size() - suffix.size() - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
+std::vector<int> CallGraph::match_entry(const std::string& entry) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (suffix_match(nodes[i]->qualified_name, entry)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+CallGraph build_call_graph(const std::vector<const FileSymbols*>& files,
+                           const std::vector<const detail::StrippedSource*>& sources) {
+  CallGraph graph;
+  std::vector<std::pair<int, int>> origin;  // node -> (file idx, fn idx)
+  std::map<std::string, std::vector<int>> by_base;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (std::size_t gi = 0; gi < files[fi]->functions.size(); ++gi) {
+      const FunctionDef& def = files[fi]->functions[gi];
+      by_base[def.base_name()].push_back(static_cast<int>(graph.nodes.size()));
+      origin.emplace_back(static_cast<int>(fi), static_cast<int>(gi));
+      graph.nodes.push_back(&def);
+    }
+  }
+  graph.edges.assign(graph.nodes.size(), {});
+
+  for (std::size_t n = 0; n < graph.nodes.size(); ++n) {
+    const FunctionDef& caller = *graph.nodes[n];
+    const detail::StrippedSource& src = *sources[static_cast<std::size_t>(origin[n].first)];
+    std::set<std::string> tokens;
+    for (int li = caller.body_begin; li <= caller.body_end; ++li) {
+      if (li < 1 || static_cast<std::size_t>(li) > src.code.size()) break;
+      collect_call_tokens(src.code[static_cast<std::size_t>(li - 1)], tokens);
+    }
+    std::set<int> callees;
+    for (const std::string& token : tokens) {
+      const std::size_t base_at = token.rfind("::");
+      const std::string base =
+          base_at == std::string::npos ? token : token.substr(base_at + 2);
+      const auto it = by_base.find(base);
+      if (it == by_base.end()) continue;
+      if (base_at != std::string::npos) {
+        // Qualified token: only suffix-matching definitions.
+        for (const int idx : it->second) {
+          if (suffix_match(graph.nodes[static_cast<std::size_t>(idx)]->qualified_name,
+                           token)) {
+            callees.insert(idx);
+          }
+        }
+        continue;
+      }
+      // Unqualified: prefer same-file definitions when any exist.
+      std::vector<int> same_file;
+      for (const int idx : it->second) {
+        if (graph.nodes[static_cast<std::size_t>(idx)]->file == caller.file) {
+          same_file.push_back(idx);
+        }
+      }
+      for (const int idx : same_file.empty() ? it->second : same_file) {
+        callees.insert(idx);
+      }
+    }
+    callees.erase(static_cast<int>(n));  // self-loops add nothing to reachability
+    graph.edges[n].assign(callees.begin(), callees.end());
+  }
+  return graph;
+}
+
+}  // namespace detlint

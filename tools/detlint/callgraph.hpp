@@ -1,0 +1,42 @@
+#pragma once
+// detlint call-graph pass: links call tokens in each recovered function
+// body to known definitions across all scanned translation units.
+//
+// Resolution is heuristic and deliberately over-approximate (an extra edge
+// can at worst surface a banned token the reachability pass then reports;
+// a missing edge silently weakens the interprocedural layer — the flat
+// rules still see every token):
+//   - a qualified call token `a::b` links to every definition whose
+//     qualified name equals it or ends with `::a::b`;
+//   - an unqualified token links to every definition sharing its base
+//     name, preferring same-file definitions when any exist (keeps a
+//     generic name like `run` from fanning out across subsystems);
+//   - member-call tokens (`obj.f(...)`, `p->f(...)`) resolve by base name
+//     like any other unqualified token.
+// Calls through function pointers / std::function / virtual dispatch
+// produce no edges — the documented known limit (DESIGN.md §5).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbols.hpp"
+
+namespace detlint {
+
+struct CallGraph {
+  /// Node order: files in scan order, functions in header_line order.
+  std::vector<const FunctionDef*> nodes;
+  /// Adjacency: caller index -> sorted unique callee indices.
+  std::vector<std::vector<int>> edges;
+
+  /// Indices of every node matching `entry` (qualified-name suffix match on
+  /// a `::` boundary, e.g. "lin::check" matches "lintime::lin::check").
+  [[nodiscard]] std::vector<int> match_entry(const std::string& entry) const;
+};
+
+/// `sources[i]` must be the stripped code whose symbols are `files[i]`.
+CallGraph build_call_graph(const std::vector<const FileSymbols*>& files,
+                           const std::vector<const detail::StrippedSource*>& sources);
+
+}  // namespace detlint

@@ -12,6 +12,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "detail.hpp"
+
 namespace detlint {
 
 namespace {
@@ -104,9 +106,11 @@ Config load_config(const std::filesystem::path& path) {
     if (line.front() == '[') {
       if (line.back() != ']') fail(path, lineno, "unterminated section header");
       section = trim(line.substr(1, line.size() - 2));
-      if (section != "scan") {
+      if (section != "scan" && section != "capability.deterministic") {
         if (section.rfind("rule.", 0) != 0) {
-          fail(path, lineno, "unknown section [" + section + "] (expected [scan] or [rule.<id>])");
+          fail(path, lineno,
+               "unknown section [" + section +
+                   "] (expected [scan], [capability.deterministic], or [rule.<id>])");
         }
         const std::string rule = section.substr(5);
         const auto& known = all_rules();
@@ -128,6 +132,15 @@ Config load_config(const std::filesystem::path& path) {
       else if (key == "extensions") config.extensions = parse_string_array(path, lineno, value);
       else if (key == "exclude") config.exclude = parse_string_array(path, lineno, value);
       else fail(path, lineno, "unknown key '" + key + "' in [scan]");
+    } else if (section == "capability.deterministic") {
+      if (key == "entry-points") {
+        config.deterministic_entries = parse_string_array(path, lineno, value);
+        for (const std::string& entry : config.deterministic_entries) {
+          if (entry.empty()) fail(path, lineno, "empty entry-point name");
+        }
+      } else {
+        fail(path, lineno, "unknown key '" + key + "' in [capability.deterministic]");
+      }
     } else if (section.rfind("rule.", 0) == 0) {
       RuleConfig& rule = config.rules[section.substr(5)];
       if (key == "enabled") rule.enabled = parse_bool(path, lineno, value);
@@ -140,7 +153,7 @@ Config load_config(const std::filesystem::path& path) {
   return config;
 }
 
-namespace {
+namespace detail {
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -165,7 +178,7 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 void write_human(std::ostream& os, const std::vector<Finding>& findings) {
   for (const Finding& f : findings) {
@@ -174,7 +187,31 @@ void write_human(std::ostream& os, const std::vector<Finding>& findings) {
   }
 }
 
+void write_audit(std::ostream& os, const AuditReport& report) {
+  for (const auto& s : report.stale_inline) {
+    os << s.file << ":" << s.line << ": stale detlint:allow(" << s.rule
+       << ") — no finding of that rule is suppressed here anymore; remove it\n";
+  }
+  for (const auto& s : report.stale_grants) {
+    os << s.file << ":" << s.line << ": stale detlint:capability(" << s.capability
+       << ") on '" << s.function
+       << "' — it suppresses no finding and shields no entry-reachable code; remove it\n";
+  }
+  for (const auto& s : report.stale_allow_globs) {
+    os << "detlint.toml: stale allow pattern \"" << s.pattern << "\" under [rule." << s.rule
+       << "] — no file matching it trips the rule anymore; remove it\n";
+  }
+  if (report.empty()) {
+    os << "detlint: no stale suppressions\n";
+  } else {
+    const std::size_t n = report.stale_inline.size() + report.stale_grants.size() +
+                          report.stale_allow_globs.size();
+    os << "detlint: " << n << " stale suppression" << (n == 1 ? "" : "s") << "\n";
+  }
+}
+
 std::string to_json(const std::vector<Finding>& findings) {
+  using detail::json_escape;
   std::ostringstream os;
   os << "{\"count\":" << findings.size() << ",\"findings\":[";
   for (std::size_t i = 0; i < findings.size(); ++i) {
@@ -182,7 +219,9 @@ std::string to_json(const std::vector<Finding>& findings) {
     if (i > 0) os << ",";
     os << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line << ",\"rule\":\""
        << json_escape(f.rule) << "\",\"message\":\"" << json_escape(f.message)
-       << "\",\"excerpt\":\"" << json_escape(f.excerpt) << "\"}";
+       << "\",\"excerpt\":\"" << json_escape(f.excerpt) << "\",\"function\":\""
+       << json_escape(f.function) << "\",\"capability\":\"" << json_escape(f.capability)
+       << "\",\"fingerprint\":\"" << json_escape(f.fingerprint) << "\"}";
   }
   os << "]}\n";
   return os.str();

@@ -1,0 +1,46 @@
+#pragma once
+// detlint internals shared between the scanner, the symbol pass, and the
+// reporters.  Nothing here is part of the public surface in detlint.hpp;
+// the split exists so symbols.cpp / callgraph.cpp can reuse the comment-
+// and-string stripper instead of growing a second, subtly different lexer.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace detlint::detail {
+
+bool is_ident(char c);
+
+/// Whole-word occurrence of `word` in `s` starting at `pos`, else npos.
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t pos = 0);
+bool has_word(const std::string& s, const std::string& word);
+
+std::size_t skip_ws(const std::string& s, std::size_t pos);
+std::string trim(const std::string& s);
+std::vector<std::string> split_lines(const std::string& text);
+
+/// The two channels of a source file: `code` has comments and string/char
+/// literals blanked (replaced by spaces, so column numbers stay meaningful);
+/// `comments` has the inverse — only comment text survives.  Rules run on
+/// `code`; suppression/capability markers are honored only in `comments`, so
+/// a string literal mentioning them is inert.  Handles //, /*...*/, "..."
+/// with escapes, raw strings R"delim(...)delim" (with encoding prefixes and
+/// custom delimiters), '...' char literals, C++14 digit separators
+/// (1'000'000), and backslash line continuations of // comments and of
+/// ordinary string literals.
+struct StrippedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw);
+
+/// Matches `<...>` starting at the '<' at `open`; returns the index of the
+/// matching '>' or npos.  Single-line only, which covers declarations.
+std::size_t match_angle(const std::string& s, std::size_t open);
+
+/// JSON string-body escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace detlint::detail

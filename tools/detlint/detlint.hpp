@@ -8,13 +8,32 @@
 // iteration over hash containers, pointer-derived ordering, mutable static
 // state, and ad-hoc thread spawning.
 //
-// It is a token/line-level scanner on purpose: no libclang dependency, runs
-// in milliseconds, and the rules target idioms that are reliably visible at
-// the token level.  Comments and string/char literals are stripped before
-// rules run, so prose never trips a rule.  False positives are expected to
-// be rare and are silenced with a `detlint:allow` comment — the marker, a
-// parenthesized rule list, and a reason — on the offending line (or alone
-// on the line above), or with per-rule path allowlists in detlint.toml.
+// v2 layers an interprocedural pass on top of the original token scanner:
+//
+//   1. a symbol pass recovers function definitions (qualified names, body
+//      extents) and `detlint:capability` grant markers (symbols.hpp) from
+//      the token stream — heuristic, no full C++ parse (symbols.hpp);
+//   2. a call-graph pass links call tokens to known definitions by
+//      qualified-name suffix / base-name matching (callgraph.hpp);
+//   3. a reachability pass flags banned tokens whose enclosing function is
+//      reachable from a deterministic entry point (detlint.toml,
+//      `[capability.deterministic] entry-points`) without crossing a
+//      function granted the matching capability (reachability.hpp);
+//   4. a ratchet baseline keyed by stable fingerprints — rule + qualified
+//      function + token context, never line numbers — so CI fails only on
+//      *new* findings (baseline.hpp);
+//   5. SARIF 2.1.0 output for PR-diff annotation in CI (sarif.hpp).
+//
+// It remains a token/line-level tool on purpose: no libclang dependency,
+// runs in milliseconds, and the rules target idioms that are reliably
+// visible at the token level.  Comments and string/char literals are
+// stripped before rules run, so prose never trips a rule.  False positives
+// are silenced with a `detlint:allow` comment — the marker, a parenthesized
+// rule list, and a reason — on the offending line (or alone on the line
+// above), or with per-rule path allowlists in detlint.toml.  Banned tokens
+// inside a function carrying a matching capability grant are sanctioned at
+// function granularity (the v2 replacement for whole-file allowlists on
+// code that *is* the exception, e.g. the campaign executor's thread pool).
 
 #include <filesystem>
 #include <map>
@@ -32,6 +51,12 @@ struct Finding {
   std::string rule;
   std::string message;
   std::string excerpt;
+  /// Qualified enclosing function ("" at namespace scope / unknown).
+  std::string function;
+  /// Capability implied by the rule ("" when the rule maps to none).
+  std::string capability;
+  /// Stable identity for baselines (see baseline.hpp); line-number free.
+  std::string fingerprint;
 };
 
 struct RuleConfig {
@@ -49,6 +74,11 @@ struct Config {
   std::vector<std::string> exclude;
   /// Per-rule overrides, keyed by rule id.
   std::map<std::string, RuleConfig> rules;
+  /// Qualified names of deterministic entry points
+  /// (`[capability.deterministic] entry-points` in detlint.toml).  Matched
+  /// against recovered definitions by `::`-boundary suffix, so
+  /// "lin::check" finds "lintime::lin::check".
+  std::vector<std::string> deterministic_entries;
 
   [[nodiscard]] bool rule_enabled(const std::string& rule, const std::string& path) const;
 };
@@ -59,6 +89,12 @@ const std::vector<std::string>& all_rules();
 /// One-line description of a rule id (empty for unknown ids).
 std::string rule_description(const std::string& rule);
 
+/// All capability ids grantable via the `detlint:capability` marker.
+const std::vector<std::string>& all_capabilities();
+
+/// Capability implied by a rule id ("" for rules outside the model).
+std::string rule_capability(const std::string& rule);
+
 /// Minimal-TOML config loader (sections, string/bool scalars, single-line
 /// string arrays).  Throws std::runtime_error with file:line on bad syntax
 /// or unknown rule ids.
@@ -68,22 +104,72 @@ Config load_config(const std::filesystem::path& path);
 /// Patterns are matched against the full repo-relative path.
 bool glob_match(const std::string& pattern, const std::string& path);
 
-/// Scans one file's contents.  `path` is used for reporting and for
+/// Scans one file's contents (flat rules + per-file capability grants; no
+/// cross-file reachability).  `path` is used for reporting and for
 /// allowlist matching.
 std::vector<Finding> scan_source(const std::string& path, const std::string& text,
                                  const Config& config);
 
+// ---------------------------------------------------------------------------
+// Whole-tree analysis (flat rules + interprocedural reachability + audit).
+// ---------------------------------------------------------------------------
+
+/// Stale-suppression audit (--audit-suppressions): every suppression channel
+/// that no longer suppresses anything.  Warn-only by design — stale entries
+/// are debt, not errors.
+struct AuditReport {
+  struct StaleInline {
+    std::string file;
+    int line = 0;       // line carrying the detlint:allow marker
+    std::string rule;
+  };
+  struct StaleAllowGlob {
+    std::string rule;
+    std::string pattern;
+  };
+  struct StaleGrant {
+    std::string file;
+    int line = 0;       // function header line
+    std::string function;
+    std::string capability;
+  };
+  std::vector<StaleInline> stale_inline;
+  std::vector<StaleAllowGlob> stale_allow_globs;
+  std::vector<StaleGrant> stale_grants;
+
+  [[nodiscard]] bool empty() const {
+    return stale_inline.empty() && stale_allow_globs.empty() && stale_grants.empty();
+  }
+};
+
+struct Analysis {
+  /// Flat + det-reachability findings, sorted by (file, line, rule), with
+  /// fingerprints assigned.
+  std::vector<Finding> findings;
+  AuditReport audit;
+};
+
 /// Walks the configured roots under `root` (or `paths`, when non-empty:
-/// files or directories, repo-relative) and scans every eligible file.
-/// File order — and therefore finding order — is sorted, so output is
-/// deterministic.  Throws std::runtime_error if a requested path is absent.
+/// files or directories, repo-relative) and runs every pass.  File order —
+/// and therefore finding order — is sorted, so output is deterministic.
+/// Throws std::runtime_error if a requested path is absent.
+Analysis analyze_tree(const std::filesystem::path& root, const Config& config,
+                      const std::vector<std::string>& paths = {});
+
+/// Back-compat wrapper: analyze_tree(...).findings.
 std::vector<Finding> scan_tree(const std::filesystem::path& root, const Config& config,
                                const std::vector<std::string>& paths = {});
 
 /// Human-readable report: "file:line: [rule] message" plus the source line.
 void write_human(std::ostream& os, const std::vector<Finding>& findings);
 
-/// Machine-readable report: {"count": N, "findings": [...]}.
+/// Human-readable audit report (one "stale ..." line per entry).
+void write_audit(std::ostream& os, const AuditReport& report);
+
+/// Machine-readable report: {"count": N, "findings": [...]} where each
+/// finding carries file, line, rule, message, excerpt, function,
+/// capability, and fingerprint (tools/ci/check_detlint_json.py pins the
+/// shape).
 std::string to_json(const std::vector<Finding>& findings);
 
 }  // namespace detlint

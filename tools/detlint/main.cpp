@@ -1,11 +1,16 @@
-// detlint CLI.  Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
+// detlint CLI.  Exit codes: 0 = clean (or all findings baselined), 1 =
+// reportable findings, 2 = usage/config error.
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "baseline.hpp"
 #include "detlint.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -16,14 +21,30 @@ void usage(std::ostream& os) {
         "paths, scans the roots configured in detlint.toml.\n"
         "\n"
         "options:\n"
-        "  --root DIR     repo root to scan from (default: .)\n"
-        "  --config FILE  config file (default: <root>/detlint.toml if present)\n"
-        "  --json         machine-readable output on stdout\n"
-        "  --list-rules   print rule ids and descriptions, then exit\n"
-        "  -h, --help     this message\n"
+        "  --root DIR             repo root to scan from (default: .)\n"
+        "  --config FILE          config file (default: <root>/detlint.toml if present)\n"
+        "  --json                 machine-readable output on stdout\n"
+        "  --sarif FILE           also write a SARIF 2.1.0 log to FILE\n"
+        "  --baseline FILE        ratchet mode: exit 1 only on findings absent\n"
+        "                         from FILE; stale entries are warned about\n"
+        "  --write-baseline FILE  record the current findings as the baseline\n"
+        "                         and exit 0\n"
+        "  --audit-suppressions   report stale detlint:allow / capability /\n"
+        "                         allow-glob suppressions and exit 0\n"
+        "  --list-rules           print rule ids and descriptions, then exit\n"
+        "  -h, --help             this message\n"
         "\n"
         "Suppress a finding with `// detlint:allow(<rule>): <reason>` on the\n"
-        "offending line, or alone on the line above it.\n";
+        "offending line, or alone on the line above it.  Sanction a whole\n"
+        "function with `// detlint:capability(<caps>): <reason>` above its\n"
+        "definition (caps: threads, rng, wall-clock, unordered).\n";
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -31,7 +52,11 @@ void usage(std::ostream& os) {
 int main(int argc, char** argv) {
   std::filesystem::path root = ".";
   std::string config_path;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   bool json = false;
+  bool audit = false;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -50,14 +75,22 @@ int main(int argc, char** argv) {
       json = true;
       continue;
     }
-    if (arg == "--root" || arg == "--config") {
+    if (arg == "--audit-suppressions") {
+      audit = true;
+      continue;
+    }
+    if (arg == "--root" || arg == "--config" || arg == "--sarif" || arg == "--baseline" ||
+        arg == "--write-baseline") {
       if (i + 1 >= argc) {
         std::cerr << "detlint: " << arg << " needs an argument\n";
         return 2;
       }
-      if (arg == "--config") config_path = argv[i + 1];
-      else root = argv[i + 1];
-      ++i;
+      const std::string value = argv[++i];
+      if (arg == "--config") config_path = value;
+      else if (arg == "--sarif") sarif_path = value;
+      else if (arg == "--baseline") baseline_path = value;
+      else if (arg == "--write-baseline") write_baseline_path = value;
+      else root = value;
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -66,6 +99,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     paths.push_back(arg);
+  }
+  if (!baseline_path.empty() && !write_baseline_path.empty()) {
+    std::cerr << "detlint: --baseline and --write-baseline are mutually exclusive\n";
+    return 2;
   }
 
   try {
@@ -76,19 +113,62 @@ int main(int argc, char** argv) {
       config = detlint::load_config(root / "detlint.toml");
     }
 
-    const std::vector<detlint::Finding> findings = detlint::scan_tree(root, config, paths);
-    if (json) {
-      std::cout << detlint::to_json(findings);
-    } else {
-      detlint::write_human(std::cout, findings);
-      if (findings.empty()) {
-        std::cout << "detlint: clean\n";
-      } else {
-        std::cout << "detlint: " << findings.size() << " finding"
-                  << (findings.size() == 1 ? "" : "s") << "\n";
+    const detlint::Analysis analysis = detlint::analyze_tree(root, config, paths);
+    const std::vector<detlint::Finding>& findings = analysis.findings;
+
+    if (!sarif_path.empty()) {
+      std::ostringstream sarif;
+      detlint::write_sarif(sarif, findings);
+      if (!write_text_file(sarif_path, sarif.str())) {
+        std::cerr << "detlint: cannot write " << sarif_path << "\n";
+        return 2;
       }
     }
-    return findings.empty() ? 0 : 1;
+
+    if (audit) {
+      detlint::write_audit(std::cout, analysis.audit);
+      return 0;  // warn-only by design: stale suppressions are debt, not errors
+    }
+
+    if (!write_baseline_path.empty()) {
+      std::ostringstream baseline;
+      detlint::write_baseline(baseline, detlint::baseline_from(findings));
+      if (!write_text_file(write_baseline_path, baseline.str())) {
+        std::cerr << "detlint: cannot write " << write_baseline_path << "\n";
+        return 2;
+      }
+      std::cout << "detlint: wrote " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << " to " << write_baseline_path << "\n";
+      return 0;
+    }
+
+    std::vector<detlint::Finding> report = findings;
+    if (!baseline_path.empty()) {
+      const detlint::Baseline baseline = detlint::load_baseline(baseline_path);
+      detlint::BaselineDiff diff = detlint::diff_against(baseline, findings);
+      for (const detlint::BaselineEntry& e : diff.stale) {
+        std::cerr << "detlint: warning: stale baseline entry " << e.fingerprint
+                  << " (fixed since the baseline was written; re-run --write-baseline)\n";
+      }
+      if (diff.matched > 0) {
+        std::cout << "detlint: " << diff.matched << " baselined finding"
+                  << (diff.matched == 1 ? "" : "s") << " suppressed\n";
+      }
+      report = std::move(diff.fresh);
+    }
+
+    if (json) {
+      std::cout << detlint::to_json(report);
+    } else {
+      detlint::write_human(std::cout, report);
+      if (report.empty()) {
+        std::cout << "detlint: clean\n";
+      } else {
+        std::cout << "detlint: " << report.size() << " finding"
+                  << (report.size() == 1 ? "" : "s") << "\n";
+      }
+    }
+    return report.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;

@@ -1,0 +1,76 @@
+// detlint reachability pass (see reachability.hpp).
+
+#include "reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace detlint {
+
+ReachablePaths compute_reachability(const CallGraph& graph,
+                                    const std::vector<std::string>& entries) {
+  ReachablePaths out;
+  std::set<int> any_entry;
+  std::vector<std::pair<std::string, std::vector<int>>> matched;
+  for (const std::string& entry : entries) {
+    std::vector<int> nodes = graph.match_entry(entry);
+    if (nodes.empty()) {
+      out.unmatched_entries.push_back(entry);
+      continue;
+    }
+    for (const int n : nodes) any_entry.insert(n);
+    matched.emplace_back(entry, std::move(nodes));
+  }
+
+  for (const std::string& cap : all_capabilities()) {
+    std::map<int, std::vector<std::string>>& reach = out.by_capability[cap];
+    // Deterministic BFS: entries in declaration order, neighbors in sorted
+    // index order, so the reported call chain never depends on map layout.
+    std::deque<int> frontier;
+    std::map<int, int> parent;  // node -> predecessor (-1 for entries)
+    for (const auto& [entry, nodes] : matched) {
+      for (const int n : nodes) {
+        const FunctionDef& def = *graph.nodes[static_cast<std::size_t>(n)];
+        if (def.capabilities.count(cap) != 0) continue;  // granted at the root
+        if (parent.emplace(n, -1).second) frontier.push_back(n);
+      }
+    }
+    while (!frontier.empty()) {
+      const int n = frontier.front();
+      frontier.pop_front();
+      for (const int m : graph.edges[static_cast<std::size_t>(n)]) {
+        const FunctionDef& def = *graph.nodes[static_cast<std::size_t>(m)];
+        if (def.capabilities.count(cap) != 0) continue;  // grant cuts the BFS
+        if (parent.emplace(m, n).second) frontier.push_back(m);
+      }
+    }
+    for (const auto& [node, pred] : parent) {
+      std::vector<std::string> path;
+      int cur = node;
+      while (cur != -1) {
+        path.push_back(graph.nodes[static_cast<std::size_t>(cur)]->qualified_name);
+        cur = parent.at(cur);
+      }
+      std::reverse(path.begin(), path.end());
+      reach.emplace(node, std::move(path));
+    }
+  }
+  return out;
+}
+
+std::string reachability_message(const std::string& rule, const std::string& capability,
+                                 const std::vector<std::string>& path) {
+  std::string chain;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) chain += " -> ";
+    chain += path[i];
+  }
+  return "banned token (" + rule + ") is reachable from deterministic entry point '" +
+         (path.empty() ? std::string("?") : path.front()) + "' via " + chain +
+         " without a '" + capability +
+         "' grant; annotate the owning function with // detlint:capability(" + capability +
+         "): <reason>, or restructure so contract code cannot reach it";
+}
+
+}  // namespace detlint

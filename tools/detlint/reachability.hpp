@@ -1,0 +1,40 @@
+#pragma once
+// detlint reachability pass: decides, per capability, which functions a
+// deterministic entry point can reach without crossing a capability grant.
+//
+// Entry points come from detlint.toml (`[capability.deterministic]
+// entry-points`).  A capability grant marker (see symbols.hpp) cuts the
+// BFS at the granted function: the grant sanctions that function *and*
+// everything it calls, which is exactly the shape of "the executor IS the
+// thread pool".  A banned token whose enclosing function is det-reachable
+// for its capability becomes a `det-reachability` finding carrying the
+// call chain — and inline `detlint:allow` markers are deliberately NOT
+// consulted for it: once contract code can reach the token, the only valid
+// answers are a typed capability grant or a restructure.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+
+namespace detlint {
+
+struct ReachablePaths {
+  /// capability -> (node index -> call chain of qualified names, entry
+  /// point first, the node itself last).
+  std::map<std::string, std::map<int, std::vector<std::string>>> by_capability;
+  /// Entry-point names from the config that matched no definition — each
+  /// becomes a `bad-capability` finding (a typo'd entry protects nothing).
+  std::vector<std::string> unmatched_entries;
+};
+
+ReachablePaths compute_reachability(const CallGraph& graph,
+                                    const std::vector<std::string>& entries);
+
+/// Formats the `det-reachability` message for a banned token of `rule`
+/// inside `function`, reached via `path`.
+std::string reachability_message(const std::string& rule, const std::string& capability,
+                                 const std::vector<std::string>& path);
+
+}  // namespace detlint

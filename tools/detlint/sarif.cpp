@@ -1,0 +1,64 @@
+// detlint SARIF 2.1.0 writer (see sarif.hpp).
+
+#include "sarif.hpp"
+
+#include "detail.hpp"
+
+namespace detlint {
+
+namespace {
+
+constexpr const char* kSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+    "sarif-schema-2.1.0.json";
+
+std::string esc(const std::string& s) { return detail::json_escape(s); }
+
+}  // namespace
+
+void write_sarif(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "{\n"
+     << "  \"$schema\": \"" << kSchema << "\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"detlint\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"informationUri\": \"DESIGN.md\",\n"
+     << "          \"rules\": [";
+  const auto& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "            {\"id\": \"" << esc(rules[i]) << "\", \"shortDescription\": {\"text\": \""
+       << esc(rule_description(rules[i])) << "\"}}";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "        {\n"
+       << "          \"ruleId\": \"" << esc(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << esc(f.message) << "\"},\n"
+       << "          \"partialFingerprints\": {\"detlint/v1\": \"" << esc(f.fingerprint)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\"uri\": \"" << esc(f.file) << "\"},\n"
+       << "                \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+       << "}\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }";
+  }
+  os << (findings.empty() ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
+}
+
+}  // namespace detlint

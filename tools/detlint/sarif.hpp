@@ -1,0 +1,19 @@
+#pragma once
+// detlint SARIF 2.1.0 output: one run, the detlint driver with the full
+// rule catalog, one result per finding.  CI uploads the file via
+// github/codeql-action/upload-sarif so findings annotate PR diffs;
+// tools/ci/check_sarif.py pins the structure.
+
+#include <ostream>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace detlint {
+
+/// Writes a complete SARIF 2.1.0 log.  `findings` should already carry
+/// fingerprints (partialFingerprints lets the upload consumer track a
+/// result across line moves, mirroring the baseline semantics).
+void write_sarif(std::ostream& os, const std::vector<Finding>& findings);
+
+}  // namespace detlint

@@ -1,0 +1,49 @@
+#pragma once
+// detlint internal per-file scan surface: what analyze_tree (analyze.cpp)
+// needs from the scanner (scanner.cpp) to run the interprocedural and audit
+// passes on top of the flat rules.
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detail.hpp"
+#include "detlint.hpp"
+#include "symbols.hpp"
+
+namespace detlint::internal {
+
+struct FileScan {
+  std::string path;
+  std::vector<std::string> raw;
+  detail::StrippedSource src;
+  FileSymbols symbols;
+  /// Every rule hit, before config/suppression/grant filtering (all rules
+  /// fire here regardless of Config so the audit pass can judge staleness).
+  std::vector<Finding> raw_findings;
+  /// The report for this file: filtered rule hits + bad-suppression /
+  /// bad-capability errors, sorted and deduplicated.
+  std::vector<Finding> kept;
+  /// Inline suppressions: target line -> rules listed there, and the marker
+  /// line the rule was written on (for audit reporting).
+  std::map<int, std::set<std::string>> suppressions;
+  std::map<std::pair<int, std::string>, int> suppression_marker_line;
+  /// Subset of `suppressions` that matched at least one raw finding.
+  std::set<std::pair<int, std::string>> suppressions_hit;
+  /// (function index in symbols.functions, capability) grants that
+  /// sanctioned at least one raw finding.
+  std::set<std::pair<int, std::string>> grants_hit;
+};
+
+FileScan scan_file(const std::string& path, const std::string& text, const Config& config);
+
+/// Sorted, deduplicated list of eligible repo-relative files under the
+/// configured roots (or the explicit `paths`).  Throws on missing paths.
+std::vector<std::string> list_files(const std::filesystem::path& root, const Config& config,
+                                    const std::vector<std::string>& paths);
+
+std::string read_file(const std::filesystem::path& abs, const std::string& rel);
+
+}  // namespace detlint::internal

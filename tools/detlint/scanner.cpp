@@ -1,28 +1,29 @@
-// detlint scanner: comment/string stripping, inline suppressions, and the
-// rule engines.  Everything here is deliberately line/token-level — see
-// detlint.hpp for the rationale.
-
-#include "detlint.hpp"
+// detlint scanner: comment/string stripping, inline suppressions, the flat
+// rule engines, and the per-file scan that layers capability grants on top.
+// Everything here is deliberately line/token-level — see detlint.hpp for the
+// rationale.  Cross-file passes (call graph, reachability, baselines) live
+// in analyze.cpp and friends.
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "detail.hpp"
+#include "detlint.hpp"
+#include "scan_internal.hpp"
+#include "symbols.hpp"
+
 namespace detlint {
 
-namespace {
+namespace detail {
 
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-bool is_hex(char c) { return std::isxdigit(static_cast<unsigned char>(c)) != 0; }
-
-/// Whole-word occurrence of `word` in `s` starting at `pos`, else npos.
-std::size_t find_word(const std::string& s, const std::string& word, std::size_t pos = 0) {
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t pos) {
   while ((pos = s.find(word, pos)) != std::string::npos) {
     const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
     const std::size_t end = pos + word.size();
@@ -66,30 +67,67 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-/// The two channels of a source file: `code` has comments and string/char
-/// literals blanked (replaced by spaces, so column numbers stay meaningful);
-/// `comments` has the inverse — only comment text survives.  Rules run on
-/// `code`; suppression markers are honored only in `comments`, so a string
-/// literal mentioning detlint:allow (e.g. in this very scanner) is inert.
-/// Handles //, /*...*/, "..." with escapes, raw strings R"delim(...)delim",
-/// '...' char literals, and C++14 digit separators (1'000'000).
-struct StrippedSource {
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-};
+std::size_t match_angle(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    else if (s[i] == '>') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+namespace {
+
+bool is_hex(char c) { return std::isxdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool ends_with_backslash(const std::string& line) {
+  return !line.empty() && line.back() == '\\';
+}
+
+/// True if the '"' at `i` opens a raw string literal: directly preceded by
+/// R carrying a valid encoding prefix (R, uR, u8R, UR, LR) that is not the
+/// tail of a longer identifier.  `MACRO_R"x(y)"` is an ordinary string after
+/// a macro token, not a raw string with delimiter "x" — mis-classifying it
+/// used to swallow everything up to a `)x"` that never comes.
+bool is_raw_quote(const std::string& line, std::size_t i) {
+  if (i == 0 || line[i - 1] != 'R') return false;
+  const std::size_t j = i - 1;  // index of 'R'
+  if (j == 0) return true;
+  const char p = line[j - 1];
+  if (!is_ident(p)) return true;
+  if ((p == 'u' || p == 'U' || p == 'L') && (j < 2 || !is_ident(line[j - 2]))) return true;
+  if (p == '8' && j >= 2 && line[j - 2] == 'u' && (j < 3 || !is_ident(line[j - 3]))) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw) {
   StrippedSource out;
   out.code.reserve(raw.size());
   out.comments.reserve(raw.size());
   bool in_block_comment = false;
+  bool in_line_comment = false;  // backslash-continued // comment
   bool in_raw_string = false;
-  std::string raw_terminator;  // ")delim\"" of the active raw string
+  bool in_string = false;  // ordinary literal spliced across lines by '\'
+  std::string raw_terminator;   // ")delim\"" of the active raw string
 
   for (const std::string& line : raw) {
     std::string code(line.size(), ' ');
     std::string comment(line.size(), ' ');
     std::size_t i = 0;
+    if (in_line_comment) {
+      for (std::size_t k = 0; k < line.size(); ++k) comment[k] = line[k];
+      in_line_comment = ends_with_backslash(line);
+      out.code.push_back(std::move(code));
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
     while (i < line.size()) {
       if (in_block_comment) {
         const std::size_t end = line.find("*/", i);
@@ -107,9 +145,18 @@ StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw) {
         i = end + raw_terminator.size();
         continue;
       }
+      if (in_string) {
+        while (i < line.size()) {
+          if (line[i] == '\\') { i += 2; continue; }
+          if (line[i] == '"') { ++i; in_string = false; break; }
+          ++i;
+        }
+        continue;
+      }
       const char c = line[i];
       if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
         for (std::size_t k = i + 2; k < line.size(); ++k) comment[k] = line[k];
+        in_line_comment = ends_with_backslash(line);
         break;  // line comment
       }
       if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
@@ -118,8 +165,9 @@ StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw) {
         continue;
       }
       if (c == '"') {
-        if (i > 0 && line[i - 1] == 'R') {
-          // Raw string: R"delim( ... )delim"
+        if (is_raw_quote(line, i)) {
+          // Raw string: R"delim( ... )delim".  The delimiter cannot contain
+          // parentheses or newlines, so the first '(' closes it.
           const std::size_t open = line.find('(', i + 1);
           const std::string delim =
               open == std::string::npos ? "" : line.substr(i + 1, open - i - 1);
@@ -134,12 +182,8 @@ StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw) {
           }
           continue;
         }
+        in_string = true;
         ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') { i += 2; continue; }
-          if (line[i] == '"') { ++i; break; }
-          ++i;
-        }
         continue;
       }
       if (c == '\'') {
@@ -160,11 +204,25 @@ StrippedSource strip_comments_and_strings(const std::vector<std::string>& raw) {
       code[i] = c;
       ++i;
     }
+    // A string literal only survives the line boundary when the newline is
+    // escaped; otherwise the (malformed) literal ends with the line.
+    if (in_string && !ends_with_backslash(line)) in_string = false;
     out.code.push_back(std::move(code));
     out.comments.push_back(std::move(comment));
   }
   return out;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::find_word;
+using detail::has_word;
+using detail::is_ident;
+using detail::skip_ws;
+using detail::StrippedSource;
+using detail::trim;
 
 /// Joins up to `max_lines` code lines starting at `start` — enough context
 /// for declarations and for-headers that wrap.
@@ -187,8 +245,10 @@ std::string join_lines(const std::vector<std::string>& code, std::size_t start,
 // ---------------------------------------------------------------------------
 
 struct Suppressions {
-  // line (1-based) -> suppressed rule ids
+  // target line (1-based) -> suppressed rule ids
   std::map<int, std::set<std::string>> by_line;
+  // (target line, rule) -> line carrying the marker (for audit reporting)
+  std::map<std::pair<int, std::string>, int> marker_line;
   std::vector<Finding> errors;  // unknown rule ids => bad-suppression findings
 
   [[nodiscard]] bool covers(int line, const std::string& rule) const {
@@ -209,7 +269,7 @@ Suppressions collect_suppressions(const std::string& path, const std::vector<std
     const std::size_t close = comment.find(')', open);
     if (close == std::string::npos) {
       sup.errors.push_back({path, static_cast<int>(i + 1), "bad-suppression",
-                            "unterminated detlint:allow(...)", trim(raw[i])});
+                            "unterminated detlint:allow(...)", trim(raw[i]), "", "", ""});
       continue;
     }
     // Code-bearing lines shield themselves; comment-only lines shield the
@@ -229,10 +289,12 @@ Suppressions collect_suppressions(const std::string& path, const std::vector<std
       const auto& known = all_rules();
       if (std::find(known.begin(), known.end(), id) == known.end()) {
         sup.errors.push_back({path, static_cast<int>(i + 1), "bad-suppression",
-                              "unknown rule '" + id + "' in detlint:allow", trim(raw[i])});
+                              "unknown rule '" + id + "' in detlint:allow", trim(raw[i]), "",
+                              "", ""});
         continue;
       }
       sup.by_line[target].insert(id);
+      sup.marker_line[{target, id}] = static_cast<int>(i + 1);
     }
   }
   return sup;
@@ -247,7 +309,7 @@ using Sink = std::vector<Finding>;
 void emit(Sink& out, const std::string& path, std::size_t line_idx, const std::string& rule,
           const std::string& message, const std::vector<std::string>& raw) {
   out.push_back({path, static_cast<int>(line_idx + 1), rule, message,
-                 line_idx < raw.size() ? trim(raw[line_idx]) : ""});
+                 line_idx < raw.size() ? trim(raw[line_idx]) : "", "", "", ""});
 }
 
 void rule_wall_clock(const std::string& path, const std::vector<std::string>& code,
@@ -377,20 +439,6 @@ void rule_unseeded_engine(const std::string& path, const std::vector<std::string
   }
 }
 
-/// Matches `<...>` starting at the '<' at `open`; returns the index of the
-/// matching '>' or npos.  Single-line only, which covers declarations.
-std::size_t match_angle(const std::string& s, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    else if (s[i] == '>') {
-      --depth;
-      if (depth == 0) return i;
-    }
-  }
-  return std::string::npos;
-}
-
 struct UnorderedDecls {
   std::set<std::string> vars;     // variables of unordered container type
   std::set<std::string> aliases;  // using X = std::unordered_map<...>
@@ -425,7 +473,7 @@ UnorderedDecls collect_unordered_decls(const std::vector<std::string>& code) {
         std::size_t p = skip_ws(line, pos + type.size());
         pos += type.size();
         if (p < line.size() && line[p] == '<') {
-          const std::size_t close = match_angle(line, p);
+          const std::size_t close = detail::match_angle(line, p);
           if (close == std::string::npos) continue;
           p = skip_ws(line, close + 1);
         }
@@ -599,8 +647,9 @@ void rule_thread_spawn(const std::string& path, const std::vector<std::string>& 
     }
     if (hit) {
       emit(out, path, i, "thread-spawn",
-           "thread creation outside the campaign executor: parallelism must stay behind "
-           "the executor's index-keyed result slots to keep output order-independent",
+           "thread creation outside a function granted the 'threads' capability: "
+           "parallelism must stay behind index-keyed result slots (or an equivalent "
+           "deterministic protocol) to keep output order-independent",
            raw);
     }
   }
@@ -610,8 +659,9 @@ void rule_thread_spawn(const std::string& path, const std::vector<std::string>& 
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      "wall-clock",     "global-rand", "unseeded-engine", "unordered-iter",
-      "pointer-key",    "mutable-static", "thread-spawn", "bad-suppression"};
+      "wall-clock",     "global-rand",    "unseeded-engine", "unordered-iter",
+      "pointer-key",    "mutable-static", "thread-spawn",    "bad-suppression",
+      "bad-capability", "det-reachability"};
   return kRules;
 }
 
@@ -622,8 +672,29 @@ std::string rule_description(const std::string& rule) {
   if (rule == "unordered-iter") return "iteration over std::unordered_{map,set} (hash order)";
   if (rule == "pointer-key") return "pointer-keyed ordered containers or comparators";
   if (rule == "mutable-static") return "mutable static/global state";
-  if (rule == "thread-spawn") return "std::thread/std::async/detach outside the executor";
+  if (rule == "thread-spawn") {
+    return "std::thread/std::async/detach outside a 'threads'-granted function";
+  }
   if (rule == "bad-suppression") return "malformed or unknown detlint:allow(...) markers";
+  if (rule == "bad-capability") {
+    return "malformed/unknown/unattached detlint:capability(...) annotations";
+  }
+  if (rule == "det-reachability") {
+    return "banned token reachable from a deterministic entry point without a grant";
+  }
+  return "";
+}
+
+const std::vector<std::string>& all_capabilities() {
+  static const std::vector<std::string> kCaps = {"threads", "rng", "wall-clock", "unordered"};
+  return kCaps;
+}
+
+std::string rule_capability(const std::string& rule) {
+  if (rule == "thread-spawn") return "threads";
+  if (rule == "wall-clock") return "wall-clock";
+  if (rule == "global-rand" || rule == "unseeded-engine") return "rng";
+  if (rule == "unordered-iter" || rule == "pointer-key") return "unordered";
   return "";
 }
 
@@ -637,91 +708,91 @@ bool Config::rule_enabled(const std::string& rule, const std::string& path) cons
   return true;
 }
 
-std::vector<Finding> scan_source(const std::string& path, const std::string& text,
-                                 const Config& config) {
-  const std::vector<std::string> raw = split_lines(text);
-  const StrippedSource src = strip_comments_and_strings(raw);
-  const std::vector<std::string>& code = src.code;
-  const Suppressions sup = collect_suppressions(path, raw, src);
+namespace internal {
 
-  std::vector<Finding> found;
-  rule_wall_clock(path, code, raw, found);
-  rule_global_rand(path, code, raw, found);
-  rule_unseeded_engine(path, code, raw, found);
-  rule_unordered_iter(path, code, raw, found);
-  rule_pointer_key(path, code, raw, found);
-  rule_mutable_static(path, code, raw, found);
-  rule_thread_spawn(path, code, raw, found);
-  for (const Finding& e : sup.errors) {
-    if (config.rule_enabled(e.rule, path)) found.push_back(e);
-  }
+FileScan scan_file(const std::string& path, const std::string& text, const Config& config) {
+  FileScan fs;
+  fs.path = path;
+  fs.raw = detail::split_lines(text);
+  fs.src = detail::strip_comments_and_strings(fs.raw);
+  fs.symbols = extract_symbols(path, fs.raw, fs.src);
+  Suppressions sup = collect_suppressions(path, fs.raw, fs.src);
+  fs.suppressions = sup.by_line;
+  fs.suppression_marker_line = sup.marker_line;
 
-  std::vector<Finding> kept;
-  for (Finding& f : found) {
-    if (!config.rule_enabled(f.rule, path)) continue;
-    if (sup.covers(f.line, f.rule)) continue;
-    kept.push_back(std::move(f));
-  }
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+  const std::vector<std::string>& code = fs.src.code;
+  Sink found;
+  rule_wall_clock(path, code, fs.raw, found);
+  rule_global_rand(path, code, fs.raw, found);
+  rule_unseeded_engine(path, code, fs.raw, found);
+  rule_unordered_iter(path, code, fs.raw, found);
+  rule_pointer_key(path, code, fs.raw, found);
+  rule_mutable_static(path, code, fs.raw, found);
+  rule_thread_spawn(path, code, fs.raw, found);
+
+  std::sort(found.begin(), found.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
   });
   // A line can legitimately trip one rule twice (two bad declarations); a
   // duplicate of the same (line, rule) adds noise, not information.
-  kept.erase(std::unique(kept.begin(), kept.end(),
-                         [](const Finding& a, const Finding& b) {
-                           return a.line == b.line && a.rule == b.rule;
-                         }),
-             kept.end());
-  return kept;
+  found.erase(std::unique(found.begin(), found.end(),
+                          [](const Finding& a, const Finding& b) {
+                            return a.line == b.line && a.rule == b.rule;
+                          }),
+              found.end());
+  for (Finding& f : found) {
+    f.capability = rule_capability(f.rule);
+    if (const FunctionDef* fn = enclosing_function(fs.symbols, f.line)) {
+      f.function = fn->qualified_name;
+    }
+  }
+  fs.raw_findings = std::move(found);
+
+  for (const Finding& f : fs.raw_findings) {
+    // Function-granularity capability grants come first: a granted token is
+    // sanctioned, so a redundant inline allow on it shows up as stale in
+    // the audit instead of silently double-covering.
+    if (!f.capability.empty()) {
+      const FunctionDef* fn = enclosing_function(fs.symbols, f.line);
+      if (fn != nullptr && fn->capabilities.count(f.capability) != 0) {
+        const int idx = static_cast<int>(fn - fs.symbols.functions.data());
+        fs.grants_hit.insert({idx, f.capability});
+        continue;
+      }
+    }
+    if (sup.covers(f.line, f.rule)) {
+      fs.suppressions_hit.insert({f.line, f.rule});
+      continue;
+    }
+    if (!config.rule_enabled(f.rule, path)) continue;
+    fs.kept.push_back(f);
+  }
+  for (const Finding& e : sup.errors) {
+    if (config.rule_enabled(e.rule, path)) fs.kept.push_back(e);
+  }
+  for (const Finding& e : fs.symbols.errors) {
+    if (config.rule_enabled(e.rule, path) && !sup.covers(e.line, e.rule)) {
+      fs.kept.push_back(e);
+    }
+  }
+  std::sort(fs.kept.begin(), fs.kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  fs.kept.erase(std::unique(fs.kept.begin(), fs.kept.end(),
+                            [](const Finding& a, const Finding& b) {
+                              return a.line == b.line && a.rule == b.rule;
+                            }),
+                fs.kept.end());
+  return fs;
 }
 
-std::vector<Finding> scan_tree(const std::filesystem::path& root, const Config& config,
-                               const std::vector<std::string>& paths) {
-  namespace fs = std::filesystem;
+}  // namespace internal
 
-  const auto eligible = [&config](const std::string& rel) {
-    const std::string ext = fs::path(rel).extension().string();
-    if (std::find(config.extensions.begin(), config.extensions.end(), ext) ==
-        config.extensions.end()) {
-      return false;
-    }
-    for (const auto& pattern : config.exclude) {
-      if (glob_match(pattern, rel)) return false;
-    }
-    return true;
-  };
-
-  std::vector<std::string> files;
-  const std::vector<std::string>& targets = paths.empty() ? config.roots : paths;
-  for (const std::string& target : targets) {
-    const fs::path abs = root / target;
-    if (fs::is_regular_file(abs)) {
-      files.push_back(fs::path(target).generic_string());
-    } else if (fs::is_directory(abs)) {
-      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
-        if (!entry.is_regular_file()) continue;
-        const std::string rel = fs::relative(entry.path(), root).generic_string();
-        if (eligible(rel)) files.push_back(rel);
-      }
-    } else {
-      throw std::runtime_error("detlint: no such file or directory: " + abs.string());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  std::vector<Finding> findings;
-  for (const std::string& rel : files) {
-    std::ifstream in(root / rel, std::ios::binary);
-    if (!in) throw std::runtime_error("detlint: cannot read " + rel);
-    std::ostringstream text;
-    text << in.rdbuf();
-    std::vector<Finding> file_findings = scan_source(rel, text.str(), config);
-    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
-  return findings;
+std::vector<Finding> scan_source(const std::string& path, const std::string& text,
+                                 const Config& config) {
+  return internal::scan_file(path, text, config).kept;
 }
 
 }  // namespace detlint

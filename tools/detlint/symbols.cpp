@@ -1,0 +1,521 @@
+// detlint symbol pass (see symbols.hpp).  One streaming walk over the
+// stripped code classifies every '{' from the statement head preceding it,
+// maintaining a namespace/class/function scope stack; a second walk over the
+// comment channel attaches capability grants to the functions they cover.
+
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+using detail::is_ident;
+using detail::skip_ws;
+using detail::trim;
+
+/// Keywords that can precede '(' without naming a function.
+bool is_head_keyword(const std::string& word) {
+  static const std::array<const char*, 18> kWords = {
+      "if",     "for",      "while",  "switch",    "catch",         "return",
+      "sizeof", "alignof",  "alignas", "decltype", "noexcept",      "new",
+      "delete", "throw",    "assert", "static_assert", "co_await",  "co_return"};
+  return std::any_of(kWords.begin(), kWords.end(),
+                     [&](const char* w) { return word == w; });
+}
+
+std::size_t match_paren(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    else if (s[i] == ')') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+bool is_operator_symbol(char c) {
+  return std::strchr("+-*/%^&|~!=<>,", c) != nullptr;
+}
+
+/// Scans backwards from `open` (index of '(') for the qualified declarator
+/// name: `ident`, `Ns::Cls::ident`, `~Dtor`, `operator==`, `operator()`,
+/// `Stack<T>::push` (template arguments skipped).  Returns "" when no name
+/// precedes the paren (lambdas, grouping parens).  `start` receives the
+/// index of the name's first character.
+std::string back_scan_name(const std::string& s, std::size_t open, std::size_t* start) {
+  std::size_t j = open;
+  while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1])) != 0) --j;
+  if (j == 0) return "";
+
+  std::string name;
+  // operator()/operator[] : the args-paren is preceded by the empty pair.
+  if ((s[j - 1] == ')' && j >= 2 && s[j - 2] == '(') ||
+      (s[j - 1] == ']' && j >= 2 && s[j - 2] == '[')) {
+    const std::string pair = s[j - 1] == ')' ? "()" : "[]";
+    std::size_t k = j - 2;
+    while (k > 0 && std::isspace(static_cast<unsigned char>(s[k - 1])) != 0) --k;
+    if (k >= 8 && s.compare(k - 8, 8, "operator") == 0) {
+      name = "operator" + pair;
+      j = k - 8;
+    } else {
+      return "";
+    }
+  } else if (is_operator_symbol(s[j - 1])) {
+    std::size_t k = j;
+    while (k > 0 && is_operator_symbol(s[k - 1])) --k;
+    std::size_t w = k;
+    while (w > 0 && std::isspace(static_cast<unsigned char>(s[w - 1])) != 0) --w;
+    if (w >= 8 && s.compare(w - 8, 8, "operator") == 0) {
+      name = "operator" + s.substr(k, j - k);
+      j = w - 8;
+    } else {
+      return "";
+    }
+  } else if (is_ident(s[j - 1])) {
+    std::size_t k = j;
+    while (k > 0 && is_ident(s[k - 1])) --k;
+    name = s.substr(k, j - k);
+    j = k;
+    if (j > 0 && s[j - 1] == '~') {
+      name = "~" + name;
+      --j;
+    }
+  } else {
+    return "";
+  }
+
+  // Prepend `Qualifier::` components, skipping `<...>` template arguments.
+  while (true) {
+    std::size_t k = j;
+    if (k >= 2 && s[k - 1] == ':' && s[k - 2] == ':') {
+      k -= 2;
+    } else {
+      break;
+    }
+    if (k > 0 && s[k - 1] == '>') {
+      int depth = 0;
+      std::size_t g = k;
+      while (g > 0) {
+        if (s[g - 1] == '>') ++depth;
+        else if (s[g - 1] == '<') {
+          --depth;
+          if (depth == 0) { --g; break; }
+        }
+        --g;
+      }
+      k = g;
+    }
+    std::size_t w = k;
+    while (w > 0 && is_ident(s[w - 1])) --w;
+    if (w == k) break;  // `::name` at global scope: stop, keep what we have
+    name = s.substr(w, k - w) + "::" + name;
+    j = w;
+  }
+  *start = j;
+  return name;
+}
+
+/// True if the text between a declarator's ')' and its '{' is something a
+/// function definition can carry: cv/ref qualifiers, noexcept(...),
+/// override/final, trailing return (everything after `->` accepted),
+/// requires-clauses, function-try-blocks, or a ctor-init list (leading ':').
+bool valid_trailer(std::string t) {
+  t = trim(t);
+  if (t.empty()) return true;
+  if (t[0] == ':' && (t.size() < 2 || t[1] != ':')) return true;  // ctor-init
+  const std::size_t arrow = t.find("->");
+  if (arrow != std::string::npos) t = t.substr(0, arrow);
+  const std::size_t req = detail::find_word(t, "requires");
+  if (req != std::string::npos) t = t.substr(0, req);
+  // Drop parenthesized groups (noexcept(expr)).
+  std::string flat;
+  int depth = 0;
+  for (const char c : t) {
+    if (c == '(') { ++depth; continue; }
+    if (c == ')') { if (depth > 0) --depth; continue; }
+    if (depth == 0) flat.push_back(c);
+  }
+  std::istringstream words(flat);
+  std::string word;
+  while (words >> word) {
+    std::string w;
+    for (const char c : word) {
+      if (is_ident(c)) w.push_back(c);
+    }
+    if (w.empty()) continue;
+    if (w != "const" && w != "noexcept" && w != "override" && w != "final" &&
+        w != "mutable" && w != "volatile" && w != "throw" && w != "try") {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kType, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;      // namespace/type component ("" when anonymous)
+  int func_index = -1;   // index into FileSymbols::functions for kFunction
+};
+
+struct BraceClass {
+  Scope::Kind kind = Scope::Kind::kBlock;
+  std::string name;
+  int header_line = 0;
+};
+
+/// Name/line of the first plausible function declarator in `head`, or "".
+struct Candidate {
+  std::string name;
+  int line = 0;
+  std::size_t after_args = std::string::npos;  // index just past the ')'
+};
+
+Candidate find_candidate(const std::string& head, const std::vector<int>& lines) {
+  Candidate out;
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < head.size()) {
+    const char c = head[i];
+    if (c == '(' && depth == 0) {
+      std::size_t start = 0;
+      const std::string name = back_scan_name(head, i, &start);
+      const std::size_t close = match_paren(head, i);
+      if (close == std::string::npos) return out;  // unbalanced: not a head
+      if (name.empty() || is_head_keyword(name)) {
+        i = close + 1;
+        continue;
+      }
+      out.name = name;
+      out.line = lines[std::min(start, lines.size() - 1)];
+      out.after_args = close + 1;
+      return out;
+    }
+    if (c == '(') ++depth;
+    else if (c == ')') --depth;
+    ++i;
+  }
+  return out;
+}
+
+BraceClass classify(const std::string& raw_head, const std::vector<int>& raw_lines,
+                    bool* pending_ctor, std::string* pending_name, int* pending_line) {
+  BraceClass out;
+  // Keep head and line map in lockstep through attribute stripping.
+  std::string head;
+  std::vector<int> lines;
+  {
+    std::size_t i = 0;
+    while (i < raw_head.size()) {
+      if (raw_head.compare(i, 2, "[[") == 0) {
+        const std::size_t close = raw_head.find("]]", i + 2);
+        if (close == std::string::npos) break;
+        i = close + 2;
+        continue;
+      }
+      head.push_back(raw_head[i]);
+      lines.push_back(raw_lines[i]);
+      ++i;
+    }
+  }
+  const std::string trimmed = trim(head);
+
+  // A ctor whose member initializers use braces resets the head at each
+  // init-brace; the body '{' then follows a head that is empty or starts
+  // with the next `, member` fragment.  `pending_ctor` carries the ctor
+  // across those resets.
+  if (*pending_ctor) {
+    const bool init_continues = !trimmed.empty() && trimmed.back() != ')' &&
+                                is_ident(trimmed.back());
+    if (trimmed.empty() || trimmed[0] == ',' || init_continues) {
+      if (init_continues) return out;  // another init-brace: stay pending
+      *pending_ctor = false;
+      out.kind = Scope::Kind::kFunction;
+      out.name = *pending_name;
+      out.header_line = *pending_line;
+      return out;
+    }
+    *pending_ctor = false;  // anything else cancels the pending ctor
+  }
+
+  if (trimmed.empty()) return out;
+
+  const std::size_t ns = detail::find_word(head, "namespace");
+  if (ns != std::string::npos) {
+    std::size_t p = skip_ws(head, ns + 9);
+    if (head.compare(p, 6, "inline") == 0) p = skip_ws(head, p + 6);
+    std::size_t q = p;
+    while (q < head.size() && (is_ident(head[q]) || head[q] == ':')) ++q;
+    out.kind = Scope::Kind::kNamespace;
+    out.name = head.substr(p, q - p);
+    while (!out.name.empty() && out.name.back() == ':') out.name.pop_back();
+    return out;
+  }
+
+  const Candidate cand = find_candidate(head, lines);
+  if (!cand.name.empty()) {
+    const std::string trailer = head.substr(cand.after_args);
+    const std::string tt = trim(trailer);
+    const bool ctor_init = !tt.empty() && tt[0] == ':' && (tt.size() < 2 || tt[1] != ':');
+    if (ctor_init && is_ident(tt.back())) {
+      // `Foo() : member_` + '{' — an init-brace, not the body yet.
+      *pending_ctor = true;
+      *pending_name = cand.name;
+      *pending_line = cand.line;
+      return out;
+    }
+    if (valid_trailer(trailer)) {
+      out.kind = Scope::Kind::kFunction;
+      out.name = cand.name;
+      out.header_line = cand.line;
+      return out;
+    }
+  }
+
+  // Class-head: last kind keyword wins, so `template <class T> struct Foo`
+  // names Foo, not T.
+  std::size_t kind_at = std::string::npos;
+  std::size_t kind_len = 0;
+  for (const std::string kw : {"class", "struct", "union", "enum"}) {
+    std::size_t at = 0;
+    while ((at = detail::find_word(head, kw, at)) != std::string::npos) {
+      if (kind_at == std::string::npos || at > kind_at) {
+        kind_at = at;
+        kind_len = kw.size();
+      }
+      at += kw.size();
+    }
+  }
+  if (kind_at != std::string::npos) {
+    std::size_t p = skip_ws(head, kind_at + kind_len);
+    // `enum class X` / `enum struct X`.
+    for (const std::string kw : {"class", "struct"}) {
+      if (head.compare(p, kw.size(), kw) == 0 &&
+          (p + kw.size() >= head.size() || !is_ident(head[p + kw.size()]))) {
+        p = skip_ws(head, p + kw.size());
+      }
+    }
+    std::size_t q = p;
+    while (q < head.size() && is_ident(head[q])) ++q;
+    out.kind = Scope::Kind::kType;
+    out.name = head.substr(p, q - p);
+    return out;
+  }
+  return out;
+}
+
+// -- capability annotations --------------------------------------------------
+
+FunctionDef* annotation_target(FileSymbols& symbols, int line) {
+  // Innermost containing function first (grant written inside/at the
+  // definition), else the next function that starts at or below the line
+  // (grant written above the signature).
+  FunctionDef* inner = nullptr;
+  for (FunctionDef& f : symbols.functions) {
+    if (f.contains_line(line) &&
+        (inner == nullptr || f.header_line > inner->header_line)) {
+      inner = &f;
+    }
+  }
+  if (inner != nullptr) return inner;
+  FunctionDef* next = nullptr;
+  for (FunctionDef& f : symbols.functions) {
+    if (f.header_line >= line && (next == nullptr || f.header_line < next->header_line)) {
+      next = &f;
+    }
+  }
+  return next;
+}
+
+void collect_capabilities(const std::string& path, const std::vector<std::string>& raw,
+                          const detail::StrippedSource& src, FileSymbols& symbols) {
+  static const std::string kMarker = "detlint:capability(";
+  for (std::size_t i = 0; i < src.comments.size(); ++i) {
+    const std::string& comment = src.comments[i];
+    const std::size_t at = comment.find(kMarker);
+    if (at == std::string::npos) continue;
+    const std::size_t open = at + kMarker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) {
+      symbols.errors.push_back({path, static_cast<int>(i + 1), "bad-capability",
+                                "unterminated detlint:capability(...)", trim(raw[i]), "", "",
+                                ""});
+      continue;
+    }
+    // Same targeting as detlint:allow — a code-bearing line grants its own
+    // enclosing function, a comment-only line grants the next definition.
+    std::size_t target_idx = i;
+    if (trim(src.code[i]).empty()) {
+      target_idx = i + 1;
+      while (target_idx < src.code.size() && trim(src.code[target_idx]).empty()) ++target_idx;
+    }
+    FunctionDef* target = annotation_target(symbols, static_cast<int>(target_idx + 1));
+    std::stringstream list(comment.substr(open, close - open));
+    std::string id;
+    bool any = false;
+    while (std::getline(list, id, '|')) {
+      std::stringstream inner(id);
+      std::string cap;
+      while (std::getline(inner, cap, ',')) {
+        cap = trim(cap);
+        if (cap.empty()) continue;
+        any = true;
+        const auto& known = all_capabilities();
+        if (std::find(known.begin(), known.end(), cap) == known.end()) {
+          symbols.errors.push_back({path, static_cast<int>(i + 1), "bad-capability",
+                                    "unknown capability '" + cap +
+                                        "' in detlint:capability (known: threads, rng, "
+                                        "wall-clock, unordered)",
+                                    trim(raw[i]), "", "", ""});
+          continue;
+        }
+        if (target == nullptr) {
+          symbols.errors.push_back({path, static_cast<int>(i + 1), "bad-capability",
+                                    "detlint:capability annotation attaches to no function "
+                                    "definition",
+                                    trim(raw[i]), "", "", ""});
+          break;
+        }
+        target->capabilities.insert(cap);
+      }
+    }
+    if (!any) {
+      symbols.errors.push_back({path, static_cast<int>(i + 1), "bad-capability",
+                                "empty capability list in detlint:capability(...)",
+                                trim(raw[i]), "", "", ""});
+    }
+  }
+}
+
+}  // namespace
+
+FileSymbols extract_symbols(const std::string& path, const std::vector<std::string>& raw,
+                            const detail::StrippedSource& src) {
+  FileSymbols out;
+  std::vector<Scope> stack;
+  std::string head;
+  std::vector<int> head_lines;
+  int paren_depth = 0;
+  bool pending_ctor = false;
+  std::string pending_name;
+  int pending_line = 0;
+  bool in_directive = false;  // preprocessor line (+ backslash continuations)
+
+  const auto qualified_prefix = [&stack]() {
+    std::string prefix;
+    for (const Scope& s : stack) {
+      if ((s.kind == Scope::Kind::kNamespace || s.kind == Scope::Kind::kType) &&
+          !s.name.empty()) {
+        prefix += s.name + "::";
+      }
+    }
+    return prefix;
+  };
+
+  for (std::size_t li = 0; li < src.code.size(); ++li) {
+    const std::string& line = src.code[li];
+    const int lineno = static_cast<int>(li + 1);
+
+    if (in_directive) {
+      in_directive = !raw[li].empty() && raw[li].back() == '\\';
+      continue;
+    }
+    const std::size_t first = skip_ws(line, 0);
+    if (first < line.size() && line[first] == '#') {
+      in_directive = !raw[li].empty() && raw[li].back() == '\\';
+      continue;
+    }
+
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '(') ++paren_depth;
+      else if (c == ')') paren_depth = paren_depth > 0 ? paren_depth - 1 : 0;
+
+      if (c == ';' && paren_depth == 0) {
+        head.clear();
+        head_lines.clear();
+        pending_ctor = false;
+        continue;
+      }
+      if (c == '{') {
+        Scope scope;
+        if (paren_depth > 0) {
+          scope.kind = Scope::Kind::kBlock;  // brace inside parens: lambda arg
+        } else {
+          const BraceClass cls =
+              classify(head, head_lines, &pending_ctor, &pending_name, &pending_line);
+          scope.kind = cls.kind;
+          scope.name = cls.name;
+          if (cls.kind == Scope::Kind::kFunction) {
+            FunctionDef def;
+            std::string name = cls.name;
+            if (name.rfind("::", 0) == 0) name = name.substr(2);
+            def.qualified_name = qualified_prefix() + name;
+            def.file = path;
+            def.header_line = cls.header_line;
+            def.body_begin = lineno;
+            def.body_end = lineno;  // patched at the matching '}'
+            scope.func_index = static_cast<int>(out.functions.size());
+            out.functions.push_back(std::move(def));
+          }
+        }
+        stack.push_back(std::move(scope));
+        head.clear();
+        head_lines.clear();
+        continue;
+      }
+      if (c == '}') {
+        if (!stack.empty()) {
+          if (stack.back().func_index >= 0) {
+            out.functions[static_cast<std::size_t>(stack.back().func_index)].body_end = lineno;
+          }
+          stack.pop_back();
+        }
+        head.clear();
+        head_lines.clear();
+        continue;
+      }
+      head.push_back(c);
+      head_lines.push_back(lineno);
+    }
+    head.push_back(' ');
+    head_lines.push_back(lineno);
+  }
+
+  // Unterminated bodies (macro brace imbalance): extend to end of file so
+  // enclosing_function still answers.
+  for (const Scope& s : stack) {
+    if (s.func_index >= 0) {
+      out.functions[static_cast<std::size_t>(s.func_index)].body_end =
+          static_cast<int>(src.code.size());
+    }
+  }
+
+  std::sort(out.functions.begin(), out.functions.end(),
+            [](const FunctionDef& a, const FunctionDef& b) {
+              return a.header_line < b.header_line;
+            });
+  collect_capabilities(path, raw, src, out);
+  return out;
+}
+
+const FunctionDef* enclosing_function(const FileSymbols& symbols, int line) {
+  const FunctionDef* inner = nullptr;
+  for (const FunctionDef& f : symbols.functions) {
+    if (f.contains_line(line) &&
+        (inner == nullptr || f.header_line > inner->header_line)) {
+      inner = &f;
+    }
+  }
+  return inner;
+}
+
+}  // namespace detlint

@@ -1,0 +1,69 @@
+#pragma once
+// detlint symbol pass: recovers function definitions and capability grants
+// from the stripped token stream of one translation unit.
+//
+// This is a heuristic, not a parser.  It tracks a brace-matched scope stack
+// (namespaces, class bodies, function bodies, plain blocks), classifies
+// each `{` from the statement head that precedes it, and qualifies function
+// names with the namespace/class scopes in effect.  Lambdas and control-flow
+// blocks are anonymous scopes, so tokens inside them attribute to the
+// enclosing function — exactly the attribution the reachability pass wants.
+// Known limits (documented in DESIGN.md §5): calls through function
+// pointers / std::function / virtual dispatch produce no edges, and
+// preprocessor-conditional brace imbalance can truncate extents.  The flat
+// rules do not depend on this pass, so its misses weaken only the
+// interprocedural layer, never the token-level one.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detail.hpp"
+#include "detlint.hpp"
+
+namespace detlint {
+
+/// One function definition recovered from the token stream.
+struct FunctionDef {
+  /// Fully qualified: enclosing namespaces/classes + the declarator name
+  /// (itself possibly qualified, e.g. an out-of-line "World::run").
+  std::string qualified_name;
+  std::string file;
+  int header_line = 0;  ///< 1-based line of the name token.
+  int body_begin = 0;   ///< line of the opening '{'.
+  int body_end = 0;     ///< line of the matching '}'.
+  /// Capabilities granted via the `detlint:capability` marker — the marker,
+  /// a parenthesized `|`-separated capability list, and a `: reason`.  (The
+  /// grammar is spelled out in DESIGN.md §5; this comment avoids writing the
+  /// marker with its parenthesis so it does not parse as a grant.)
+  std::set<std::string> capabilities;
+
+  [[nodiscard]] std::string base_name() const {
+    const std::size_t sep = qualified_name.rfind("::");
+    return sep == std::string::npos ? qualified_name : qualified_name.substr(sep + 2);
+  }
+  [[nodiscard]] bool contains_line(int line) const {
+    return header_line <= line && line <= body_end;
+  }
+};
+
+struct FileSymbols {
+  /// In header_line order.
+  std::vector<FunctionDef> functions;
+  /// Malformed/unknown/unattached capability annotations ("bad-capability").
+  std::vector<Finding> errors;
+};
+
+/// Extracts every function definition and attaches capability annotations.
+/// An annotation on a code-bearing line grants the function enclosing that
+/// line; on a comment-only line it grants the function whose definition the
+/// next code-bearing line belongs to (so a grant sits naturally above the
+/// signature, like a doc comment).
+FileSymbols extract_symbols(const std::string& path, const std::vector<std::string>& raw,
+                            const detail::StrippedSource& src);
+
+/// Innermost function whose [header_line, body_end] covers `line` (1-based);
+/// nullptr at namespace scope.
+const FunctionDef* enclosing_function(const FileSymbols& symbols, int line);
+
+}  // namespace detlint
