@@ -27,13 +27,15 @@ sim::RunRecord boundary_schedule(bool timers_first) {
   config.params = sim::ModelParams{3, 10.0, 2.0, 1.5};
   config.clock_offsets = {-1.5, 0.0, 0.0};
   config.timers_before_deliveries = timers_first;
+  config.type = &queue;
   sim::World world(config, [&](sim::ProcId) {
     return std::make_unique<core::AlgorithmOneProcess>(
         queue, core::TimingPolicy::standard(config.params, 0.0));
   });
-  world.invoke_at(0.0, 2, "enqueue", Value{7});
-  world.invoke_at(50.0, 1, "dequeue", Value::nil());
-  world.invoke_at(51.5, 0, "dequeue", Value::nil());
+  const auto deq = queue.op_id("dequeue");
+  world.invoke_at(0.0, 2, queue.op_id("enqueue"), Value{7});
+  world.invoke_at(50.0, 1, deq, Value::nil());
+  world.invoke_at(51.5, 0, deq, Value::nil());
   world.run();
   return world.record();
 }
@@ -48,14 +50,17 @@ sim::RunRecord backdate_schedule(double backdate) {
       });
   core::TimingPolicy timing = core::TimingPolicy::standard(config.params, 2.0);
   timing.aop_backdate = backdate;
+  config.type = &queue;
   sim::World world(config, [&](sim::ProcId) {
     return std::make_unique<core::AlgorithmOneProcess>(queue, timing);
   });
-  world.invoke_at(49.0, 1, "enqueue", Value{1});
-  world.invoke_at(49.5, 2, "enqueue", Value{2});
-  world.invoke_at(50.0, 0, "peek", Value::nil());
-  world.invoke_at(90.0, 1, "dequeue", Value::nil());
-  world.invoke_at(92.0, 0, "dequeue", Value::nil());
+  const auto enq = queue.op_id("enqueue");
+  const auto deq = queue.op_id("dequeue");
+  world.invoke_at(49.0, 1, enq, Value{1});
+  world.invoke_at(49.5, 2, enq, Value{2});
+  world.invoke_at(50.0, 0, queue.op_id("peek"), Value::nil());
+  world.invoke_at(90.0, 1, deq, Value::nil());
+  world.invoke_at(92.0, 0, deq, Value::nil());
   world.run();
   return world.record();
 }

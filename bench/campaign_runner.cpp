@@ -320,6 +320,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", bench_path.c_str());
       return 1;
     }
+    // First line: the host/build stamp, so the wall-clock entries below are
+    // interpretable after the artifact leaves the machine that recorded it.
+    os << "{\"context\":";
+    campaign::write_bench_context(os, campaign::current_bench_context());
+    os << "}\n";
     campaign::BenchEntry entry{spec.name, spec.jobs.size(), workers, wall};
     if (campaign_name == "serving") entry.total_ops = agg.ops_complete;
     campaign::write_bench_entry(os, entry);

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+
 #include "adt/classify.hpp"
 #include "adt/queue_type.hpp"
 #include "adt/register_type.hpp"
@@ -142,6 +145,7 @@ void BM_ConstructionValidator(benchmark::State& state) {
   std::vector<const lintime::core::AlgorithmOneProcess*> replicas;
   lintime::sim::WorldConfig config;
   config.params = params;
+  config.type = &queue;
   config.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 3);
   lintime::sim::World world(config, [&](sim::ProcId) {
     auto p = std::make_unique<lintime::core::AlgorithmOneProcess>(
@@ -149,10 +153,13 @@ void BM_ConstructionValidator(benchmark::State& state) {
     replicas.push_back(p.get());
     return p;
   });
+  // Intern once, dispatch by id: scheduling loops stay off the deprecated
+  // per-call string lookup.
+  const auto enq = queue.op_id("enqueue");
+  const auto deq = queue.op_id("dequeue");
   for (int i = 0; i < 4; ++i) {
     for (int p = 0; p < 4; ++p) {
-      world.invoke_at(i * 20.0 + p * 0.25, p, i % 2 == 0 ? "enqueue" : "dequeue",
-                      lintime::adt::Value{i});
+      world.invoke_at(i * 20.0 + p * 0.25, p, i % 2 == 0 ? enq : deq, lintime::adt::Value{i});
     }
   }
   world.run();
@@ -342,20 +349,27 @@ void BM_CompositeTwoObjects(benchmark::State& state) {
   lintime::adt::RegisterType reg;
   lintime::core::ProductType product({&queue, &reg});
   const auto params = params_for(4);
+  // The product type outlives every per-iteration world, so its interned
+  // ids are resolved once out here.
+  const auto enq = product.op_id("0:enqueue");
+  const auto write = product.op_id("1:write");
+  const auto peek = product.op_id("0:peek");
+  const auto read = product.op_id("1:read");
   std::int64_t ops = 0;
   for (auto _ : state) {
     lintime::sim::WorldConfig config;
     config.params = params;
+    config.type = &product;
     config.delays = std::make_shared<sim::UniformRandomDelay>(8.0, 10.0, 9);
     lintime::sim::World world(config, [&](sim::ProcId) {
       return std::make_unique<lintime::core::CompositeProcess>(
           product, lintime::core::TimingPolicy::standard(params, 0.0));
     });
     for (int i = 0; i < 5; ++i) {
-      world.invoke_at(i * 20.0, 0, "0:enqueue", lintime::adt::Value{i});
-      world.invoke_at(i * 20.0, 1, "1:write", lintime::adt::Value{i});
-      world.invoke_at(i * 20.0, 2, "0:peek", lintime::adt::Value::nil());
-      world.invoke_at(i * 20.0, 3, "1:read", lintime::adt::Value::nil());
+      world.invoke_at(i * 20.0, 0, enq, lintime::adt::Value{i});
+      world.invoke_at(i * 20.0, 1, write, lintime::adt::Value{i});
+      world.invoke_at(i * 20.0, 2, peek, lintime::adt::Value::nil());
+      world.invoke_at(i * 20.0, 3, read, lintime::adt::Value::nil());
     }
     world.run();
     ops += static_cast<std::int64_t>(world.record().ops.size());
@@ -365,3 +379,24 @@ void BM_CompositeTwoObjects(benchmark::State& state) {
 BENCHMARK(BM_CompositeTwoObjects);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the JSON context carries the
+// build/compiler stamp next to google-benchmark's own num_cpus: a committed
+// BENCH_checker.json should say what produced it.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#ifdef LINTIME_BUILD_TYPE
+  benchmark::AddCustomContext("build_type", LINTIME_BUILD_TYPE);
+#endif
+#if defined(__clang__)
+  benchmark::AddCustomContext("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+  benchmark::AddCustomContext("compiler", "gcc " __VERSION__);
+#endif
+  benchmark::AddCustomContext(
+      "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,7 +15,9 @@ endforeach()
 
 add_executable(micro_benchmarks bench/micro_benchmarks.cpp)
 set_target_properties(micro_benchmarks PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+# The build-type stamp lands in the benchmark JSON context (custom main).
+target_compile_definitions(micro_benchmarks PRIVATE LINTIME_BUILD_TYPE="${CMAKE_BUILD_TYPE}")
 target_link_libraries(micro_benchmarks PRIVATE
   lintime_adt lintime_sim lintime_core lintime_baseline lintime_lin
   lintime_shift lintime_clocksync lintime_harness
-  benchmark::benchmark benchmark::benchmark_main)
+  benchmark::benchmark)

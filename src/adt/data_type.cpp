@@ -29,6 +29,12 @@ void ObjectState::assign_from(const ObjectState& /*other*/) {
   throw std::logic_error("ObjectState::assign_from: state does not support assignment");
 }
 
+ObjectState* ObjectState::clone_into(void* /*mem*/) const {
+  throw std::logic_error(
+      "ObjectState::clone_into: state does not support placement copies "
+      "(self_size() == 0); derive adt::StateBase or use clone()");
+}
+
 std::vector<Value> DataType::sample_args(const std::string& op) const {
   if (!spec(op).takes_arg) return {Value::nil()};
   // Four distinct arguments so the classifier can witness k-wise

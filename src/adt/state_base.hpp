@@ -4,7 +4,9 @@
 // implements apply() and canonical() (plus, optionally, the OpId apply and
 // fingerprint_into fast paths).
 
+#include <cstddef>
 #include <memory>
+#include <new>
 
 #include "adt/data_type.hpp"
 
@@ -18,6 +20,13 @@ class StateBase : public ObjectState {
   }
 
   [[nodiscard]] bool supports_assign() const final { return true; }
+
+  [[nodiscard]] std::size_t self_size() const final { return sizeof(Derived); }
+  [[nodiscard]] std::size_t self_align() const final { return alignof(Derived); }
+
+  ObjectState* clone_into(void* mem) const final {
+    return new (mem) Derived(static_cast<const Derived&>(*this));
+  }
 
   /// Copy-assigns from `other`; throws std::bad_cast if the dynamic types
   /// differ (the checkers only pair states of one type, so this never fires

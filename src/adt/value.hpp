@@ -51,6 +51,12 @@ class Value {
   [[nodiscard]] const std::string& as_str() const { return std::get<std::string>(rep_); }
   [[nodiscard]] const ValueVec& as_vec() const { return std::get<ValueVec>(rep_); }
 
+  /// Mutable view of the vector alternative, or nullptr if this value is not
+  /// a vector.  Lets hot paths rebuild a small composite argument in place
+  /// (reusing the element storage) instead of allocating a fresh vector per
+  /// reconstruction; see sim::PayloadVal::to_value_into.
+  [[nodiscard]] ValueVec* vec_if() { return std::get_if<ValueVec>(&rep_); }
+
   friend bool operator==(const Value& a, const Value& b) { return a.rep_ == b.rep_; }
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
   friend bool operator<(const Value& a, const Value& b);

@@ -18,20 +18,26 @@ void CentralizedProcess::on_invoke(sim::Context& ctx, const std::string& op, con
     ctx.respond(state_->apply(id, arg));
     return;
   }
-  ctx.send(kCoordinator, CentralRequest{id, arg, next_request_id_++});
+  sim::Payload request;
+  request.op_id = id;
+  request.seq = next_request_id_++;
+  request.val = sim::PayloadVal::from_value(arg);
+  ctx.send(kCoordinator, std::move(request));
 }
 
-void CentralizedProcess::on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) {
+void CentralizedProcess::on_message(sim::Context& ctx, sim::ProcId src,
+                                    const sim::Payload& payload) {
   if (self_ == kCoordinator) {
-    const auto& req = std::any_cast<const CentralRequest&>(payload);
-    ctx.send(src, CentralReply{state_->apply(req.op_id, req.arg), req.request_id});
+    sim::Payload reply;
+    reply.seq = payload.seq;  // echo the request id
+    reply.val = sim::PayloadVal::from_value(state_->apply(payload.op_id, payload.val.to_value()));
+    ctx.send(src, std::move(reply));
     return;
   }
-  const auto& reply = std::any_cast<const CentralReply&>(payload);
-  ctx.respond(reply.ret);
+  ctx.respond(payload.val.to_value());
 }
 
-void CentralizedProcess::on_timer(sim::Context&, sim::TimerId, const std::any&) {
+void CentralizedProcess::on_timer(sim::Context&, sim::TimerId, const sim::Payload&) {
   throw std::logic_error("centralized baseline sets no timers");
 }
 

@@ -7,8 +7,12 @@
 // invoked at the coordinator itself complete immediately.
 //
 // This is the baseline Algorithm 1 is measured against in every table bench.
+//
+// Wire format: requests and replies are sim::Payloads -- a request carries
+// {op_id, arg, request-id in seq}; a reply carries {return value, the same
+// request-id}.  Role dispatch is positional (self == kCoordinator), so no
+// message tag is needed.
 
-#include <any>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -18,21 +22,6 @@
 
 namespace lintime::baseline {
 
-/// Request forwarded to the coordinator.  The id is interned against the
-/// shared type at the requester, so the coordinator dispatches on it
-/// directly.
-struct CentralRequest {
-  adt::OpId op_id;
-  adt::Value arg;
-  std::uint64_t request_id = 0;
-};
-
-/// Reply from the coordinator.
-struct CentralReply {
-  adt::Value ret;
-  std::uint64_t request_id = 0;
-};
-
 class CentralizedProcess final : public sim::Process {
  public:
   static constexpr sim::ProcId kCoordinator = 0;
@@ -40,8 +29,8 @@ class CentralizedProcess final : public sim::Process {
   explicit CentralizedProcess(const adt::DataType& type, sim::ProcId self);
 
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
-  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
-  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const sim::Payload& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const sim::Payload& data) override;
 
   [[nodiscard]] std::string state_canonical() const;
 

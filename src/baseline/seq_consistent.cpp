@@ -1,12 +1,33 @@
 #include "baseline/seq_consistent.hpp"
 
-#include "core/algorithm_one.hpp"  // reuses the OpAnnounce wire format
+#include <stdexcept>
 
 namespace lintime::baseline {
 
 using adt::OpCategory;
 using adt::Value;
 using core::Timestamp;
+
+namespace {
+
+/// Same flattening as Algorithm 1's (one message kind -- the announcement --
+/// plus the two timer kinds, disjoint channels so tags may overlap).
+sim::Payload pack(std::uint32_t tag, adt::OpId op_id, sim::PayloadVal arg, const Timestamp& ts) {
+  sim::Payload p;
+  p.tag = tag;
+  p.op_id = op_id;
+  p.proc = ts.proc;
+  p.seq = ts.seq;
+  p.clock = ts.clock;
+  p.val = std::move(arg);
+  return p;
+}
+
+Timestamp ts_of(const sim::Payload& p) { return Timestamp{p.clock, p.proc, p.seq}; }
+
+constexpr std::uint32_t kAnnounceTag = 0;
+
+}  // namespace
 
 SeqConsistentProcess::SeqConsistentProcess(const adt::DataType& type,
                                            const sim::ModelParams& params)
@@ -32,8 +53,9 @@ void SeqConsistentProcess::on_invoke(sim::Context& ctx, const std::string& op,
   }
 
   const Timestamp ts{ctx.local_time(), ctx.self(), next_ts_seq_++};
-  ctx.set_timer(add_delay_, TimerData{TimerKind::kAdd, id, op, arg, ts});
-  ctx.broadcast(core::OpAnnounce{id, op, arg, ts});
+  const sim::PayloadVal val = sim::PayloadVal::from_value(arg);
+  ctx.set_timer(add_delay_, pack(static_cast<std::uint32_t>(TimerKind::kAdd), id, val, ts));
+  ctx.broadcast(pack(kAnnounceTag, id, val, ts));
   last_own_mutator_ = ts;
 
   if (cat == OpCategory::kPureMutator) {
@@ -44,29 +66,28 @@ void SeqConsistentProcess::on_invoke(sim::Context& ctx, const std::string& op,
 }
 
 void SeqConsistentProcess::on_message(sim::Context& ctx, sim::ProcId /*src*/,
-                                      const std::any& payload) {
-  const auto& announce = std::any_cast<const core::OpAnnounce&>(payload);
-  add_to_queue(ctx, announce.op_id, announce.op, announce.arg, announce.ts);
+                                      const sim::Payload& payload) {
+  add_to_queue(ctx, payload.op_id, payload.val, ts_of(payload));
 }
 
 void SeqConsistentProcess::on_timer(sim::Context& ctx, sim::TimerId /*id*/,
-                                    const std::any& data) {
-  const auto& timer = std::any_cast<const TimerData&>(data);
-  switch (timer.kind) {
+                                    const sim::Payload& data) {
+  switch (static_cast<TimerKind>(data.tag)) {
     case TimerKind::kAdd:
-      add_to_queue(ctx, timer.op_id, timer.op, timer.arg, timer.ts);
+      add_to_queue(ctx, data.op_id, data.val, ts_of(data));
       break;
     case TimerKind::kExecute:
-      drain_up_to(ctx, timer.ts);
+      drain_up_to(ctx, ts_of(data));
       break;
   }
 }
 
-void SeqConsistentProcess::add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
-                                        const Value& arg, const Timestamp& ts) {
+void SeqConsistentProcess::add_to_queue(sim::Context& ctx, adt::OpId op_id,
+                                        const sim::PayloadVal& arg, const Timestamp& ts) {
   const sim::TimerId execute_timer =
-      ctx.set_timer(execute_delay_, TimerData{TimerKind::kExecute, op_id, op, arg, ts});
-  const auto [it, inserted] = to_execute_.emplace(ts, QueueEntry{op_id, op, arg, execute_timer});
+      ctx.set_timer(execute_delay_, pack(static_cast<std::uint32_t>(TimerKind::kExecute),
+                                         adt::OpId{}, sim::PayloadVal{}, ts));
+  const auto [it, inserted] = to_execute_.emplace(ts, QueueEntry{op_id, arg, execute_timer});
   (void)it;
   if (!inserted) {
     throw std::logic_error("SeqConsistentProcess: duplicate timestamp in To_Execute");
@@ -81,7 +102,7 @@ void SeqConsistentProcess::drain_up_to(sim::Context& ctx, const Timestamp& ts) {
     to_execute_.erase(it);
     ctx.cancel_timer(entry.execute_timer);
 
-    const Value ret = execute_locally(entry.op_id, entry.arg);
+    const Value ret = execute_locally(entry.op_id, entry.arg.to_value());
 
     if (entry_ts.proc == ctx.self()) {
       if (type_.category(entry.op_id) == OpCategory::kMixed) {

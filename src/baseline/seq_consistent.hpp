@@ -17,8 +17,10 @@
 // linearizable in general (remote readers see stale state for up to d+u+eps
 // after a write responds) -- demonstrating concretely why linearizability
 // costs what Theorems 2-5 say it must.
+//
+// Wire/timer format mirrors Algorithm 1's: typed sim::Payloads carrying
+// {tag, op_id, arg, flattened timestamp}.
 
-#include <any>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,26 +39,17 @@ class SeqConsistentProcess final : public sim::Process {
   SeqConsistentProcess(const adt::DataType& type, const sim::ModelParams& params);
 
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
-  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
-  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const sim::Payload& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const sim::Payload& data) override;
 
   [[nodiscard]] std::string state_canonical() const { return state_->canonical(); }
 
  private:
-  enum class TimerKind { kAdd, kExecute };
-
-  struct TimerData {
-    TimerKind kind;
-    adt::OpId op_id;
-    std::string op;
-    adt::Value arg;
-    core::Timestamp ts;
-  };
+  enum class TimerKind : std::uint32_t { kAdd, kExecute };
 
   struct QueueEntry {
     adt::OpId op_id;
-    std::string op;
-    adt::Value arg;
+    sim::PayloadVal arg;
     sim::TimerId execute_timer;
   };
 
@@ -67,8 +60,8 @@ class SeqConsistentProcess final : public sim::Process {
     core::Timestamp waits_for;  ///< own mutator timestamp it must observe
   };
 
-  void add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
-                    const adt::Value& arg, const core::Timestamp& ts);
+  void add_to_queue(sim::Context& ctx, adt::OpId op_id, const sim::PayloadVal& arg,
+                    const core::Timestamp& ts);
   void drain_up_to(sim::Context& ctx, const core::Timestamp& ts);
   adt::Value execute_locally(adt::OpId op_id, const adt::Value& arg);
 

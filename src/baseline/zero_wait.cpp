@@ -9,18 +9,22 @@ ZeroWaitProcess::ZeroWaitProcess(const adt::DataType& type)
 
 void ZeroWaitProcess::on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) {
   const adt::OpId id = type_.op_id(op);
-  if (type_.spec(id).is_mutator()) ctx.broadcast(ZeroWaitAnnounce{id, arg});
+  if (type_.spec(id).is_mutator()) {
+    sim::Payload announce;
+    announce.op_id = id;
+    announce.val = sim::PayloadVal::from_value(arg);
+    ctx.broadcast(std::move(announce));
+  }
   ctx.respond(state_->apply(id, arg));
 }
 
 void ZeroWaitProcess::on_message(sim::Context& ctx, sim::ProcId /*src*/,
-                                 const std::any& payload) {
+                                 const sim::Payload& payload) {
   (void)ctx;
-  const auto& announce = std::any_cast<const ZeroWaitAnnounce&>(payload);
-  state_->apply(announce.op_id, announce.arg);
+  state_->apply(payload.op_id, payload.val.to_value());
 }
 
-void ZeroWaitProcess::on_timer(sim::Context&, sim::TimerId, const std::any&) {
+void ZeroWaitProcess::on_timer(sim::Context&, sim::TimerId, const sim::Payload&) {
   throw std::logic_error("zero-wait baseline sets no timers");
 }
 

@@ -6,8 +6,9 @@
 // linearizable -- it exists so the lower-bound experiments and tests have a
 // maximally broken comparator, and to show that the linearizability checker
 // actually rejects histories (no vacuous passes).
+//
+// Wire format: one message kind, a sim::Payload carrying {op_id, arg}.
 
-#include <any>
 #include <memory>
 #include <string>
 
@@ -16,18 +17,13 @@
 
 namespace lintime::baseline {
 
-struct ZeroWaitAnnounce {
-  adt::OpId op_id;  ///< interned against the shared type; valid at every replica
-  adt::Value arg;
-};
-
 class ZeroWaitProcess final : public sim::Process {
  public:
   explicit ZeroWaitProcess(const adt::DataType& type);
 
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
-  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
-  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const sim::Payload& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const sim::Payload& data) override;
 
  private:
   const adt::DataType& type_;

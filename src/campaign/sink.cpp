@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 namespace lintime::campaign {
 
@@ -201,6 +202,28 @@ std::string to_csv(const CampaignResult& result) {
   std::ostringstream os;
   write_csv(os, result);
   return os.str();
+}
+
+BenchContext current_bench_context() {
+  BenchContext ctx;
+  ctx.num_cpus = static_cast<int>(std::thread::hardware_concurrency());
+#ifdef LINTIME_BUILD_TYPE
+  ctx.build_type = LINTIME_BUILD_TYPE;
+#endif
+#if defined(__clang__)
+  ctx.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  ctx.compiler = "gcc " __VERSION__;
+#else
+  ctx.compiler = "unknown";
+#endif
+  return ctx;
+}
+
+void write_bench_context(std::ostream& os, const BenchContext& ctx) {
+  os << "{\"num_cpus\":" << ctx.num_cpus << ",\"build_type\":\""
+     << json_escape(ctx.build_type) << "\",\"compiler\":\"" << json_escape(ctx.compiler)
+     << "\"}";
 }
 
 void write_bench_entry(std::ostream& os, const BenchEntry& entry) {

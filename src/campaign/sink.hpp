@@ -52,4 +52,18 @@ struct BenchEntry {
 };
 void write_bench_entry(std::ostream& os, const BenchEntry& entry);
 
+/// Host/build stamp for BENCH_*.json artifacts: hardware thread count,
+/// CMake build type and compiler.  A throughput number is meaningless
+/// without these -- a Debug or single-core recording has to explain itself.
+/// Deliberately NOT part of write_json/write_csv: the result sinks stay
+/// byte-identical across hosts and worker counts; only the perf artifacts
+/// (which already carry wall-clock) get stamped.
+struct BenchContext {
+  int num_cpus = 0;        ///< std::thread::hardware_concurrency()
+  std::string build_type;  ///< CMAKE_BUILD_TYPE baked in at compile time
+  std::string compiler;    ///< compiler id + version from predefined macros
+};
+[[nodiscard]] BenchContext current_bench_context();
+void write_bench_context(std::ostream& os, const BenchContext& ctx);
+
 }  // namespace lintime::campaign

@@ -1,6 +1,5 @@
 #include "clocksync/lundelius_lynch.hpp"
 
-#include <any>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -12,31 +11,29 @@ namespace lintime::clocksync {
 
 namespace {
 
-/// Wire format: the sender's local clock at send time.
-struct ClockReading {
-  sim::Time sender_local = 0;
-};
-
 class SyncProcess final : public sim::Process {
  public:
   explicit SyncProcess(std::vector<sim::Time>& adjustments) : adjustments_(adjustments) {}
 
   void on_start(sim::Context& ctx) override {
-    ctx.broadcast(ClockReading{ctx.local_time()});
+    // Wire format: the sender's local clock at send time, in Payload::clock.
+    sim::Payload reading;
+    reading.clock = ctx.local_time();
+    ctx.broadcast(std::move(reading));
   }
 
   void on_invoke(sim::Context&, const std::string&, const adt::Value&) override {
     throw std::logic_error("clock sync handles no operations");
   }
 
-  void on_message(sim::Context& ctx, sim::ProcId /*src*/, const std::any& payload) override {
-    const auto& reading = std::any_cast<const ClockReading&>(payload);
+  void on_message(sim::Context& ctx, sim::ProcId /*src*/, const sim::Payload& payload) override {
+    const sim::Time sender_local = payload.clock;
     const auto& p = ctx.params();
     // Midpoint delay estimate: the true receive-time reading of the sender's
     // clock is T_s + delta for delta in [d-u, d]; using d - u/2 bounds the
     // estimation error by u/2.
     const sim::Time estimated_diff =
-        (reading.sender_local + p.d - p.u / 2.0) - ctx.local_time();
+        (sender_local + p.d - p.u / 2.0) - ctx.local_time();
     sum_diffs_ += estimated_diff;
     if (++received_ == ctx.n() - 1) {
       // Average over all n processes, counting our own difference as 0.
@@ -44,7 +41,7 @@ class SyncProcess final : public sim::Process {
     }
   }
 
-  void on_timer(sim::Context&, sim::TimerId, const std::any&) override {
+  void on_timer(sim::Context&, sim::TimerId, const sim::Payload&) override {
     throw std::logic_error("clock sync sets no timers");
   }
 

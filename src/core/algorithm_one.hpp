@@ -15,9 +15,13 @@
 // never broadcast: they execute locally d-X after invocation with a
 // timestamp back-dated by X (line 2), which is exactly late enough to have
 // received every mutator that responded before the accessor was invoked.
+//
+// Wire/timer format: everything travels as a typed sim::Payload.  The tag
+// grammar (kAnnounceTag for the one message kind, TimerKind for timers) and
+// the Timestamp <-> {clock, proc, seq} flattening live in algorithm_one.cpp;
+// the argument rides as a PayloadVal, so integer and [key, int] arguments
+// never touch the heap between invoker and replicas.
 
-#include <any>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,17 +32,6 @@
 #include "sim/process.hpp"
 
 namespace lintime::core {
-
-/// Wire format: announcement of a mutator invocation (line 15).  Every
-/// replica runs against the same DataType, so the interned id resolved once
-/// at the invoker is valid everywhere; the name rides along for the
-/// execution log and diagnostics.
-struct OpAnnounce {
-  adt::OpId op_id;
-  std::string op;
-  adt::Value arg;
-  Timestamp ts;
-};
 
 /// One locally executed operation, for invariant checks and debugging.
 struct ExecutedOp {
@@ -58,8 +51,8 @@ class AlgorithmOneProcess final : public sim::Process {
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
   void on_invoke_id(sim::Context& ctx, adt::OpId id, const std::string& op,
                     const adt::Value& arg) override;
-  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
-  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const sim::Payload& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const sim::Payload& data) override;
 
   /// The mutators (and local accessors) executed on this replica, in
   /// execution order.  Lemma 5's invariant -- mutators execute in increasing
@@ -75,41 +68,39 @@ class AlgorithmOneProcess final : public sim::Process {
   void set_execution_logging(bool on) { log_executions_ = on; }
 
  private:
-  enum class TimerKind { kAopRespond, kMopRespond, kAdd, kExecute };
-
-  struct TimerData {
-    TimerKind kind;
-    adt::OpId op_id;
-    std::string op;
-    adt::Value arg;
-    Timestamp ts;
-  };
+  enum class TimerKind : std::uint32_t { kAopRespond, kMopRespond, kAdd, kExecute };
 
   struct QueueEntry {
+    Timestamp ts;
     adt::OpId op_id;
-    std::string op;
-    adt::Value arg;
+    sim::PayloadVal arg;
     sim::TimerId execute_timer;
   };
 
   /// Lines 18-20: enter the mutator into To_Execute and start its settle
   /// timer.
-  void add_to_queue(sim::Context& ctx, adt::OpId op_id, const std::string& op,
-                    const adt::Value& arg, const Timestamp& ts);
+  void add_to_queue(sim::Context& ctx, adt::OpId op_id, const sim::PayloadVal& arg,
+                    const Timestamp& ts);
 
   /// Lines 4-8 / 22-29: execute every queued mutator with timestamp <= ts,
-  /// in timestamp order, responding if one of them is our own pending OOP.
+  /// in timestamp order, responding if one of them is our own kMixed.
   void drain_up_to(sim::Context& ctx, const Timestamp& ts);
 
-  /// Line 30-33: apply (op, arg) to the local replica.
-  adt::Value execute_locally(adt::OpId op_id, const std::string& op, const adt::Value& arg,
-                             const Timestamp& ts);
+  /// Line 30-33: apply (op_id, arg) to the local replica.  The op name is
+  /// resolved from the type only when the execution log is on; nothing on
+  /// the serving hot path touches a string.
+  adt::Value execute_locally(adt::OpId op_id, const sim::PayloadVal& arg, const Timestamp& ts);
 
   const adt::DataType& type_;
   TimingPolicy timing_;
   std::unique_ptr<adt::ObjectState> state_;
-  std::map<Timestamp, QueueEntry> to_execute_;
+  /// Sorted ascending by timestamp.  The queue holds only the mutators
+  /// inside one settle window (u + eps), so it stays a handful of entries;
+  /// a flat vector with near-back insertion beats std::map's node
+  /// allocation per announcement by a wide margin at serving scale.
+  std::vector<QueueEntry> to_execute_;
   std::vector<ExecutedOp> executed_;
+  adt::Value scratch_arg_;  ///< reused across executions (see execute_locally)
   std::uint64_t next_ts_seq_ = 0;  ///< keeps own timestamps unique
   bool log_executions_ = true;
 };

@@ -16,7 +16,6 @@
 // CompositeProcess run is linearizable w.r.t. ProductType, and each
 // restriction is linearizable w.r.t. its component type.
 
-#include <any>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,15 +69,16 @@ class ProductType final : public adt::DataType {
 
 /// One simulated process hosting an independent Algorithm 1 instance per
 /// object.  Invocations use qualified names; each sub-instance's messages
-/// and timers are tagged with its object index, so the instances never
-/// interfere (their timestamps and To_Execute queues are disjoint).
+/// and timers carry its object index in Payload::chan (stamped outbound,
+/// stripped inbound), so the instances never interfere (their timestamps and
+/// To_Execute queues are disjoint).
 class CompositeProcess final : public sim::Process {
  public:
   CompositeProcess(const ProductType& product, const TimingPolicy& timing);
 
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
-  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
-  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const sim::Payload& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const sim::Payload& data) override;
 
   [[nodiscard]] const AlgorithmOneProcess& instance(std::size_t object) const {
     return *instances_.at(object);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -10,11 +12,55 @@ namespace lintime::core {
 
 namespace {
 
-/// Envelope tagging a shard instance's message payload or timer data with
-/// the owning shard, mirroring the tuple composite's Tagged envelope.
-struct ShardTag {
-  int shard;
-  std::any inner;
+/// Slab owner for materialized component states.  A million-key serving run
+/// materializes ~10^6 states; one unique_ptr each means a million
+/// malloc/free pairs (the free half lands in the timed region at teardown),
+/// which profiled as the largest remaining libc cost after the payload
+/// refactor.  States that publish their footprint (self_size() > 0, i.e.
+/// anything deriving StateBase) are placement-copied into 64 KiB bump slabs
+/// instead; string-only custom states fall back to one heap block each.
+/// Bump order follows materialization order, so layout -- like everything
+/// else here -- is deterministic, and nothing ever reads it anyway.
+class StateArena {
+ public:
+  StateArena() = default;
+  StateArena(const StateArena&) = delete;
+  StateArena& operator=(const StateArena&) = delete;
+
+  ~StateArena() {
+    for (adt::ObjectState* s : placed_) s->~ObjectState();
+  }
+
+  /// Returns a copy of `tmpl` owned by this arena.
+  adt::ObjectState* add(const adt::ObjectState& tmpl) {
+    const std::size_t size = tmpl.self_size();
+    if (size == 0) {
+      owned_.push_back(tmpl.clone());
+      return owned_.back().get();
+    }
+    const std::size_t align = tmpl.self_align();
+    auto at = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (at + size > limit_) {
+      const std::size_t slab = std::max<std::size_t>(kSlabBytes, size + align);
+      slabs_.push_back(std::make_unique<std::byte[]>(slab));
+      cursor_ = reinterpret_cast<std::uintptr_t>(slabs_.back().get());
+      limit_ = cursor_ + slab;
+      at = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = at + size;
+    adt::ObjectState* s = tmpl.clone_into(reinterpret_cast<void*>(at));
+    placed_.push_back(s);
+    return s;
+  }
+
+ private:
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<adt::ObjectState*> placed_;  ///< in-slab states needing dtors
+  std::vector<std::unique_ptr<adt::ObjectState>> owned_;  ///< fallback path
+  std::uintptr_t cursor_ = 1;  ///< 1 > limit_: first add allocates a slab
+  std::uintptr_t limit_ = 0;
 };
 
 /// Open-addressed key -> component-state table (linear probing, Fibonacci
@@ -33,19 +79,20 @@ class KeyStateTable {
     for (std::size_t i = probe_start(key);; i = (i + 1) & mask_) {
       const Slot& s = slots_[i];
       if (s.state == nullptr) return nullptr;
-      if (s.key == key) return s.state.get();
+      if (s.key == key) return s.state;
     }
   }
 
   /// Inserts a NEW key (the caller has already checked find() == nullptr).
-  adt::ObjectState& insert(std::int64_t key, std::unique_ptr<adt::ObjectState> state,
+  /// `state` is a borrowed pointer; the caller's StateArena owns it.
+  adt::ObjectState& insert(std::int64_t key, adt::ObjectState* state,
                            std::size_t expected_total) {
     if (size_ * 2 >= slots_.size()) grow(expected_total);
     for (std::size_t i = probe_start(key);; i = (i + 1) & mask_) {
       Slot& s = slots_[i];
       if (s.state == nullptr) {
         s.key = key;
-        s.state = std::move(state);
+        s.state = state;
         ++size_;
         return *s.state;
       }
@@ -55,7 +102,7 @@ class KeyStateTable {
  private:
   struct Slot {
     std::int64_t key = 0;
-    std::unique_ptr<adt::ObjectState> state;  ///< nullptr == empty slot
+    adt::ObjectState* state = nullptr;  ///< borrowed from the arena; null == empty
   };
 
   [[nodiscard]] std::size_t probe_start(std::int64_t key) const {
@@ -114,7 +161,7 @@ class KeyedState final : public adt::ObjectState {
   KeyedState(const KeyedState& other)
       : adt::ObjectState(other), owner_(other.owner_), touched_(other.touched_) {
     for (const std::int64_t key : touched_) {
-      states_.insert(key, other.states_.find(key)->clone(), expected_keys());
+      states_.insert(key, arena_.add(*other.states_.find(key)), expected_keys());
     }
   }
 
@@ -170,7 +217,11 @@ class KeyedState final : public adt::ObjectState {
 
   [[nodiscard]] adt::ObjectState& materialize(std::int64_t key) {
     touched_.push_back(key);
-    return states_.insert(key, owner_->component().initial_state(), expected_keys());
+    // Copy the (bound) initial template into the arena rather than asking
+    // the component for a fresh heap state per key; clone_into preserves the
+    // bound op table, so the copy behaves exactly like initial_state().
+    if (!initial_) initial_ = owner_->component().initial_state();
+    return states_.insert(key, arena_.add(*initial_), expected_keys());
   }
 
   /// Shared initial component state for accessor reads of untouched keys.
@@ -189,8 +240,10 @@ class KeyedState final : public adt::ObjectState {
 
   const ShardedStore* owner_;
   std::vector<std::int64_t> touched_;  ///< materialized keys, insertion order
+  StateArena arena_;                   ///< owns every state in states_
   KeyStateTable states_;
   std::unique_ptr<adt::ObjectState> pristine_;
+  std::unique_ptr<adt::ObjectState> initial_;  ///< clone template for materialize
 };
 
 }  // namespace
@@ -268,7 +321,10 @@ ShardedStore::KeyedArg ShardedStore::split(const adt::Value& arg) const {
 // ShardedServingProcess
 // ---------------------------------------------------------------------------
 
-/// Context adapter wrapping outgoing messages and timer data in a ShardTag.
+/// Context adapter stamping the owning shard into Payload::chan on every
+/// outgoing message and timer (mirroring the tuple composite's SubContext);
+/// the shard fan-out is single-level, so the one chan field suffices and no
+/// envelope allocation exists anywhere on the serving path.
 class ShardedServingProcess::ShardContext final : public sim::Context {
  public:
   ShardContext(sim::Context& outer, int shard) : outer_(outer), shard_(shard) {}
@@ -278,19 +334,25 @@ class ShardedServingProcess::ShardContext final : public sim::Context {
   [[nodiscard]] const sim::ModelParams& params() const override { return outer_.params(); }
   [[nodiscard]] sim::Time local_time() const override { return outer_.local_time(); }
 
-  void send(sim::ProcId dst, std::any payload) override {
-    outer_.send(dst, ShardTag{shard_, std::move(payload)});
+  void send(sim::ProcId dst, sim::Payload payload) override {
+    outer_.send(dst, stamp(std::move(payload)));
   }
-  void broadcast(std::any payload) override {
-    outer_.broadcast(ShardTag{shard_, std::move(payload)});
-  }
-  sim::TimerId set_timer(sim::Time delay, std::any data) override {
-    return outer_.set_timer(delay, ShardTag{shard_, std::move(data)});
+  void broadcast(sim::Payload payload) override { outer_.broadcast(stamp(std::move(payload))); }
+  sim::TimerId set_timer(sim::Time delay, sim::Payload data) override {
+    return outer_.set_timer(delay, stamp(std::move(data)));
   }
   void cancel_timer(sim::TimerId id) override { outer_.cancel_timer(id); }
   void respond(adt::Value ret) override { outer_.respond(std::move(ret)); }
 
  private:
+  [[nodiscard]] sim::Payload stamp(sim::Payload p) const {
+    if (p.chan != sim::Payload::kNoChan) {
+      throw std::logic_error("sharded store: payload channel already in use");
+    }
+    p.chan = static_cast<std::uint32_t>(shard_);
+    return p;
+  }
+
   sim::Context& outer_;
   int shard_;
 };
@@ -319,16 +381,21 @@ void ShardedServingProcess::on_invoke_id(sim::Context& ctx, adt::OpId id, const 
 }
 
 void ShardedServingProcess::on_message(sim::Context& ctx, sim::ProcId src,
-                                       const std::any& payload) {
-  const auto& tag = std::any_cast<const ShardTag&>(payload);
-  ShardContext sub(ctx, tag.shard);
-  instances_.at(static_cast<std::size_t>(tag.shard))->on_message(sub, src, tag.inner);
+                                       const sim::Payload& payload) {
+  const auto shard = static_cast<int>(payload.chan);
+  sim::Payload inner = payload;  // strip the channel before forwarding
+  inner.chan = sim::Payload::kNoChan;
+  ShardContext sub(ctx, shard);
+  instances_.at(static_cast<std::size_t>(shard))->on_message(sub, src, inner);
 }
 
-void ShardedServingProcess::on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) {
-  const auto& tag = std::any_cast<const ShardTag&>(data);
-  ShardContext sub(ctx, tag.shard);
-  instances_.at(static_cast<std::size_t>(tag.shard))->on_timer(sub, id, tag.inner);
+void ShardedServingProcess::on_timer(sim::Context& ctx, sim::TimerId id,
+                                     const sim::Payload& data) {
+  const auto shard = static_cast<int>(data.chan);
+  sim::Payload inner = data;
+  inner.chan = sim::Payload::kNoChan;
+  ShardContext sub(ctx, shard);
+  instances_.at(static_cast<std::size_t>(shard))->on_timer(sub, id, inner);
 }
 
 std::string ShardedServingProcess::state_canonical() const {

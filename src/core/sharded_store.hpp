@@ -17,7 +17,6 @@
 // anywhere on the hot path (contrast the "<object>:<op>" parsing of the
 // tuple composite).
 
-#include <any>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -96,8 +95,9 @@ class ShardedStore final : public adt::DataType {
 /// One simulated process serving a ShardedStore: an independent Algorithm 1
 /// instance per shard, each running against the store type (its replica is a
 /// keyed state that materializes only the keys routed to that shard).
-/// Messages and timers are multiplexed with a shard tag; invocations route
-/// by key with interned dispatch end to end.
+/// Messages and timers are multiplexed via Payload::chan (the shard index,
+/// stamped outbound and stripped inbound); invocations route by key with
+/// interned dispatch end to end.
 class ShardedServingProcess final : public sim::Process {
  public:
   ShardedServingProcess(const ShardedStore& store, const TimingPolicy& timing);
@@ -105,8 +105,8 @@ class ShardedServingProcess final : public sim::Process {
   void on_invoke(sim::Context& ctx, const std::string& op, const adt::Value& arg) override;
   void on_invoke_id(sim::Context& ctx, adt::OpId id, const std::string& op,
                     const adt::Value& arg) override;
-  void on_message(sim::Context& ctx, sim::ProcId src, const std::any& payload) override;
-  void on_timer(sim::Context& ctx, sim::TimerId id, const std::any& data) override;
+  void on_message(sim::Context& ctx, sim::ProcId src, const sim::Payload& payload) override;
+  void on_timer(sim::Context& ctx, sim::TimerId id, const sim::Payload& data) override;
 
   [[nodiscard]] const ShardedStore& store() const { return store_; }
   [[nodiscard]] const AlgorithmOneProcess& instance(int shard) const {

@@ -199,7 +199,7 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
   world.run(spec.max_events);
 
   RunResult result;
-  result.record = world.record();
+  result.record = world.take_record();
   result.latency = latency_by_op(result.record);
   // Canonical state extraction walks every replica (every materialized key,
   // for sharded stores) -- skip it in ops-only runs, where the caller asked

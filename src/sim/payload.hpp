@@ -1,0 +1,141 @@
+#pragma once
+// Typed message/timer payloads for the simulator hot loop.
+//
+// Every protocol in this library sends one of a handful of shapes -- a
+// mutator announcement {op, arg, timestamp}, a request/reply {op, arg, id},
+// a timer cookie {kind, timestamp}, a clock reading -- yet they used to
+// travel as std::any: one heap allocation plus RTTI per send, a deep copy
+// per delivery, and a type-erased destructor per reclaim.  sim::Payload
+// replaces that with a single tagged struct whose fields cover all of those
+// shapes inline; the only non-POD member is PayloadVal's boxed fallback (a
+// refcounted immutable adt::Value) for arguments that genuinely need heap
+// storage (strings, deep vectors).  A broadcast is then one slot write plus
+// n-1 integer references, with zero type erasure anywhere on the path.
+//
+// The tag grammar is protocol-owned: the simulator never interprets
+// Payload::tag (or any other field); it only stores and routes.  DESIGN.md
+// §4.10 documents the representation and the reasoning behind it.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "adt/op.hpp"
+#include "adt/value.hpp"
+#include "sim/model_params.hpp"
+
+namespace lintime::sim {
+
+/// A compact adt::Value carrier.  The hot serving shapes -- nil, a bare
+/// integer, and the sharded store's [key, int-or-nil] envelope -- are stored
+/// inline with no allocation; anything else is boxed once into an immutable
+/// shared Value (the arena-slab fallback), so broadcast fan-out shares one
+/// heap object via refcount instead of deep-copying per destination.
+class PayloadVal {
+ public:
+  enum class Kind : std::uint8_t {
+    kNil,    ///< adt::Value::nil()
+    kInt,    ///< a bare int64 (field a)
+    kPair,   ///< [a-or-nil, b-or-nil]: covers the keyed [key, inner] envelope
+    kBoxed,  ///< anything else, shared and immutable
+  };
+
+  PayloadVal() = default;
+
+  [[nodiscard]] static PayloadVal from_value(const adt::Value& v) {
+    PayloadVal out;
+    if (v.is_nil()) return out;
+    if (v.is_int()) {
+      out.kind_ = Kind::kInt;
+      out.a_ = v.as_int();
+      return out;
+    }
+    if (v.is_vec()) {
+      const adt::ValueVec& vec = v.as_vec();
+      if (vec.size() == 2 && (vec[0].is_int() || vec[0].is_nil()) &&
+          (vec[1].is_int() || vec[1].is_nil())) {
+        out.kind_ = Kind::kPair;
+        if (vec[0].is_int()) out.a_ = vec[0].as_int(); else out.nil_mask_ |= 1U;
+        if (vec[1].is_int()) out.b_ = vec[1].as_int(); else out.nil_mask_ |= 2U;
+        return out;
+      }
+    }
+    out.kind_ = Kind::kBoxed;
+    out.boxed_ = std::make_shared<const adt::Value>(v);
+    return out;
+  }
+
+  /// Reconstructs the adt::Value.  kNil/kInt are free; kPair allocates the
+  /// two-element vector (this is the one reconstruction a replica pays when
+  /// it finally applies the operation); kBoxed copies the shared Value.
+  [[nodiscard]] adt::Value to_value() const {
+    switch (kind_) {
+      case Kind::kNil:
+        return adt::Value::nil();
+      case Kind::kInt:
+        return adt::Value{a_};
+      case Kind::kPair: {
+        adt::ValueVec vec;
+        vec.reserve(2);
+        vec.push_back((nil_mask_ & 1U) != 0 ? adt::Value::nil() : adt::Value{a_});
+        vec.push_back((nil_mask_ & 2U) != 0 ? adt::Value::nil() : adt::Value{b_});
+        return adt::Value{std::move(vec)};
+      }
+      case Kind::kBoxed:
+        return *boxed_;
+    }
+    return adt::Value::nil();  // unreachable
+  }
+
+  /// Reconstructs into `out`, reusing its storage when possible: a kPair
+  /// written over a Value that already holds a two-element vector reassigns
+  /// the elements in place (scalar variant assignments, no allocation).  A
+  /// replica draining its To_Execute queue through one scratch Value thus
+  /// pays the pair allocation once per run instead of once per execution.
+  void to_value_into(adt::Value& out) const {
+    if (kind_ == Kind::kPair) {
+      if (adt::ValueVec* vec = out.vec_if(); vec != nullptr && vec->size() == 2) {
+        (*vec)[0] = (nil_mask_ & 1U) != 0 ? adt::Value::nil() : adt::Value{a_};
+        (*vec)[1] = (nil_mask_ & 2U) != 0 ? adt::Value::nil() : adt::Value{b_};
+        return;
+      }
+    }
+    out = to_value();
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::int64_t as_int() const { return a_; }
+
+ private:
+  Kind kind_ = Kind::kNil;
+  std::uint8_t nil_mask_ = 0;  ///< kPair: bit0/bit1 = element is nil
+  std::int64_t a_ = 0;
+  std::int64_t b_ = 0;
+  std::shared_ptr<const adt::Value> boxed_;  ///< kBoxed only; null otherwise
+};
+
+/// The one wire/timer record every Process sends and receives.  Field
+/// meanings are protocol conventions, not simulator semantics:
+///   tag    -- protocol discriminator (message kind / timer kind)
+///   chan   -- routing channel for multiplexing wrappers (composite object
+///             index, sharded-store shard); kNoChan outside a wrapper.
+///             Wrappers stamp it on the way out and strip it on the way in,
+///             so inner protocols never see it set.
+///   op_id  -- interned operation, when the payload names one
+///   proc / seq / clock -- a core::Timestamp's fields flattened raw (sim/
+///             cannot depend on core/), or any other small scalars a
+///             protocol needs (request ids, clock readings)
+///   val    -- the operation argument / return value
+struct Payload {
+  static constexpr std::uint32_t kNoChan = 0xffffffffU;
+
+  std::uint32_t tag = 0;
+  std::uint32_t chan = kNoChan;
+  adt::OpId op_id{};
+  ProcId proc = 0;
+  std::uint64_t seq = 0;
+  Time clock = 0;
+  PayloadVal val;
+};
+
+}  // namespace lintime::sim

@@ -4,13 +4,13 @@
 // invocations, message receipts and timer expirations, and which can only
 // observe its *local* clock (never real time).
 
-#include <any>
 #include <cstdint>
 #include <string>
 
 #include "adt/op.hpp"
 #include "adt/value.hpp"
 #include "sim/model_params.hpp"
+#include "sim/payload.hpp"
 
 namespace lintime::sim {
 
@@ -24,6 +24,11 @@ struct TimerId {
 /// narrow: a process can read its local clock, send messages, manage timers
 /// and respond to the pending invocation -- nothing else (in particular it
 /// cannot read real time or other processes' state).
+///
+/// Messages and timer cookies are typed sim::Payload records (sim/payload.hpp)
+/// rather than type-erased values: the simulator stores them inline in its
+/// slots and never allocates, copies deeply, or consults RTTI on their
+/// behalf.
 class Context {
  public:
   virtual ~Context() = default;
@@ -36,14 +41,15 @@ class Context {
   [[nodiscard]] virtual Time local_time() const = 0;
 
   /// Sends `payload` to `dst` (!= self). Delay chosen by the world's model.
-  virtual void send(ProcId dst, std::any payload) = 0;
+  virtual void send(ProcId dst, Payload payload) = 0;
 
-  /// Sends `payload` to every other process.
-  virtual void broadcast(std::any payload) = 0;
+  /// Sends `payload` to every other process.  On the ring scheduler this is
+  /// one payload-slot write plus n-1 references, not n-1 copies.
+  virtual void broadcast(Payload payload) = 0;
 
   /// Sets a timer to go off `delay` local-clock time from now, carrying
   /// `data` back to on_timer.
-  virtual TimerId set_timer(Time delay, std::any data) = 0;
+  virtual TimerId set_timer(Time delay, Payload data) = 0;
 
   /// Cancels a pending timer; no-op if already fired or cancelled.
   virtual void cancel_timer(TimerId id) = 0;
@@ -77,10 +83,10 @@ class Process {
   }
 
   /// A message from `src` arrived.
-  virtual void on_message(Context& ctx, ProcId src, const std::any& payload) = 0;
+  virtual void on_message(Context& ctx, ProcId src, const Payload& payload) = 0;
 
   /// A timer set earlier went off; `data` is the payload given to set_timer.
-  virtual void on_timer(Context& ctx, TimerId id, const std::any& data) = 0;
+  virtual void on_timer(Context& ctx, TimerId id, const Payload& data) = 0;
 };
 
 }  // namespace lintime::sim

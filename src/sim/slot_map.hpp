@@ -4,78 +4,126 @@
 // The World allocates timer / message / invocation ids sequentially from 1
 // and consumes them in near-FIFO order (a message is delivered once, shortly
 // after it was sent).  A std::map pays a node allocation plus pointer-chasing
-// per entry for ordering nobody needs; this container instead stores slot
-// `id - base` of a deque and trims exhausted slots off the front, so insert,
-// find and take are O(1) amortized and iteration-order determinism is moot
-// (there is no iteration at all).
+// per entry for ordering nobody needs.  A std::deque of slots fixes that but
+// keeps a hidden allocation treadmill: libstdc++ sizes deque chunks at 512
+// bytes, so ~5 of the ~100-byte payload slots share a chunk and steady-state
+// traffic (10 timers per serving op) allocates and frees a chunk every few
+// events -- measurably the top libc cost of the 10^6-op serving benchmark.
+//
+// This container instead stores slot `id - base` in a chunked ring: fixed
+// kBlock-slot blocks held by pointer, the front block recycled to the back
+// once the consumed-prefix watermark passes it.  After warmup the hot loop
+// runs with ZERO allocator traffic, and blocks never move, so live
+// references survive later inserts (the delivery path holds a payload
+// reference across a handler that may send).  Iteration-order determinism
+// is moot: there is no iteration on the dispatch path at all.
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace lintime::sim {
 
 /// Maps sequentially-allocated ids (1, 2, 3, ...) to values.  Ids below the
-/// trimmed base or never inserted simply miss (find -> nullptr, take ->
+/// trimmed watermark or never inserted simply miss (find -> nullptr, take ->
 /// nullopt), matching the map.find() == end() checks this replaces.
 template <typename T>
 class SlotMap {
  public:
   /// Stores `value` under `id`.  Ids arrive in increasing order from the
-  /// World's counters; an id below the trimmed base would be a reuse bug, so
-  /// it is ignored rather than resurrecting a consumed slot.
+  /// World's counters; an id below the consumed watermark would be a reuse
+  /// bug, so it is ignored rather than resurrecting a consumed slot.
   void insert(std::uint64_t id, T value) {
-    if (id < base_) return;
+    if (id < trim_id_) return;
     const auto idx = static_cast<std::size_t>(id - base_);
-    if (idx >= slots_.size()) slots_.resize(idx + 1);
-    slots_[idx] = std::move(value);
+    const std::size_t b = idx / kBlock;
+    while (b >= blocks_.size()) {
+      blocks_.push_back(spare_ != nullptr ? std::move(spare_) : std::make_unique<Block>());
+    }
+    (*blocks_[b])[idx % kBlock] = std::move(value);
+    if (id >= high_) high_ = id + 1;
   }
 
   [[nodiscard]] const T* find(std::uint64_t id) const {
-    if (id < base_) return nullptr;
-    const auto idx = static_cast<std::size_t>(id - base_);
-    if (idx >= slots_.size() || !slots_[idx]) return nullptr;
-    return &*slots_[idx];
+    const std::optional<T>* slot = locate(id);
+    if (slot == nullptr || !*slot) return nullptr;
+    return &**slot;
   }
 
   /// Mutable lookup (e.g. decrementing a broadcast payload's delivery
-  /// count).  Stable: deque growth and front-trimming never move a live
-  /// slot, so the pointer survives later inserts.
+  /// count).  Stable: blocks are held by pointer and recycled whole, so the
+  /// pointer survives later inserts and front-block recycling.
   [[nodiscard]] T* find(std::uint64_t id) {
     return const_cast<T*>(static_cast<const SlotMap*>(this)->find(id));
   }
 
   /// Removes and returns the value, or nullopt if absent.
   std::optional<T> take(std::uint64_t id) {
-    if (id < base_) return std::nullopt;
-    const auto idx = static_cast<std::size_t>(id - base_);
-    if (idx >= slots_.size() || !slots_[idx]) return std::nullopt;
-    std::optional<T> out = std::move(slots_[idx]);
-    slots_[idx].reset();
-    trim_front();
+    std::optional<T>* slot = const_cast<std::optional<T>*>(locate(id));
+    if (slot == nullptr || !*slot) return std::nullopt;
+    std::optional<T> out = std::move(*slot);
+    slot->reset();
+    advance_watermark();
     return out;
   }
 
   void erase(std::uint64_t id) { take(id); }
 
-  [[nodiscard]] bool empty() const {
-    for (const auto& s : slots_) {
-      if (s) return false;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Number of live entries.  O(slots); used once per run to pre-size the
+  /// op record vector, never on the dispatch path.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& block : blocks_) {
+      for (const auto& s : *block) {
+        if (s) ++n;
+      }
     }
-    return true;
+    return n;
   }
 
  private:
-  void trim_front() {
-    while (!slots_.empty() && !slots_.front()) {
-      slots_.pop_front();
-      ++base_;
+  // 1024 slots per block: ~100 KiB for the ~100-byte payload types, big
+  // enough that recycling is rare, small enough that an idle map is cheap.
+  static constexpr std::size_t kBlock = 1024;
+  using Block = std::array<std::optional<T>, kBlock>;
+
+  [[nodiscard]] const std::optional<T>* locate(std::uint64_t id) const {
+    if (id < trim_id_) return nullptr;
+    const auto idx = static_cast<std::size_t>(id - base_);
+    const std::size_t b = idx / kBlock;
+    if (b >= blocks_.size()) return nullptr;
+    return &(*blocks_[b])[idx % kBlock];
+  }
+
+  /// Advances the consumed-prefix watermark over disengaged slots, then
+  /// recycles any front block that fell entirely behind it.  Each slot is
+  /// passed exactly once, so takes stay O(1) amortized.  The walk is
+  /// bounded by the highest id ever inserted: ids beyond it will still
+  /// arrive (the World's counters are sequential), so their empty slots
+  /// must not be trimmed preemptively.
+  void advance_watermark() {
+    while (trim_id_ < high_ &&
+           !(*blocks_[(trim_id_ - base_) / kBlock])[(trim_id_ - base_) % kBlock]) {
+      ++trim_id_;
+    }
+    while (!blocks_.empty() && base_ + kBlock <= trim_id_) {
+      std::unique_ptr<Block> retired = std::move(blocks_.front());
+      blocks_.erase(blocks_.begin());
+      spare_ = std::move(retired);  // all-disengaged by construction
+      base_ += kBlock;
     }
   }
 
-  std::deque<std::optional<T>> slots_;
-  std::uint64_t base_ = 1;  ///< id of slots_.front(); ids start at 1
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::unique_ptr<Block> spare_;  ///< last retired block, ready for reuse
+  std::uint64_t base_ = 1;     ///< id of blocks_[0]'s first slot; ids start at 1
+  std::uint64_t trim_id_ = 1;  ///< ids below this are consumed (or trimmed)
+  std::uint64_t high_ = 1;     ///< one past the highest id ever inserted
 };
 
 }  // namespace lintime::sim

@@ -31,10 +31,12 @@ Time snap(Time t) { return std::round(t * kGrid) / kGrid; }
 }  // namespace
 
 /// Per-step context handed to the process being dispatched.  Collects the
-/// step's side effects (sent messages, response) into the trace.
+/// step's side effects (sent messages, response) into the trace when a step
+/// record is attached; under RecordDetail::kOpsOnly `step` is null and the
+/// context skips all per-step bookkeeping.
 class World::ContextImpl final : public Context {
  public:
-  ContextImpl(World& world, ProcId self, StepRecord& step)
+  ContextImpl(World& world, ProcId self, StepRecord* step)
       : world_(world), self_(self), step_(step) {}
 
   [[nodiscard]] ProcId self() const override { return self_; }
@@ -47,7 +49,7 @@ class World::ContextImpl final : public Context {
                 world_.config_.clock_offsets[i]);
   }
 
-  void send(ProcId dst, std::any payload) override {
+  void send(ProcId dst, Payload payload) override {
     if (dst == self_ || dst < 0 || dst >= n()) {
       throw std::invalid_argument("send: bad destination " + std::to_string(dst));
     }
@@ -73,9 +75,9 @@ class World::ContextImpl final : public Context {
     }
   }
 
-  void broadcast(std::any payload) override {
+  void broadcast(Payload payload) override {
     if (world_.config_.scheduler == SchedulerKind::kBinaryHeap) {
-      // Legacy semantics: one deep payload copy per destination.
+      // Legacy semantics: one payload copy per destination.
       for (ProcId p = 0; p < n(); ++p) {
         if (p != self_) send(p, payload);
       }
@@ -84,7 +86,7 @@ class World::ContextImpl final : public Context {
     // Batched delivery: ONE arena slot holds the payload; n-1 ring entries
     // reference it.  Message ids, drop coins, delays and records are drawn
     // per destination in exactly the per-send order, so the RunRecord is
-    // byte-identical to the legacy loop -- only the n-1 std::any copies and
+    // byte-identical to the legacy loop -- only the n-1 payload copies and
     // side-table round trips disappear.
     const std::uint64_t slot = world_.next_payload_slot_++;
     world_.payloads_.insert(slot, SharedPayload{std::move(payload), self_, 0});
@@ -108,7 +110,7 @@ class World::ContextImpl final : public Context {
     }
   }
 
-  TimerId set_timer(Time delay, std::any data) override {
+  TimerId set_timer(Time delay, Payload data) override {
     if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
     const std::uint64_t id = world_.next_timer_id_++;
     world_.timers_.insert(id, PendingTimer{self_, std::move(data)});
@@ -140,8 +142,10 @@ class World::ContextImpl final : public Context {
     op.ret = std::move(ret);
     op.response_real = world_.now_;
     world_.pending_op_[static_cast<std::size_t>(self_)] = -1;
-    step_.responded = true;
-    step_.response = op.ret;
+    if (step_ != nullptr) {
+      step_->responded = true;
+      step_->response = op.ret;
+    }
     if (world_.response_hook_) world_.response_hook_(world_, op);
   }
 
@@ -168,7 +172,7 @@ class World::ContextImpl final : public Context {
   }
 
   void record_dropped(std::uint64_t id, ProcId dst) {
-    if (!world_.record_full_) return;
+    if (step_ == nullptr) return;  // kOpsOnly: no message/step bookkeeping
     // Dropped: recorded as sent-but-unreceived; no delivery event.
     MessageRecord rec;
     rec.id = id;
@@ -177,11 +181,11 @@ class World::ContextImpl final : public Context {
     rec.send_real = world_.now_;
     rec.received = false;
     world_.record_.messages.push_back(rec);
-    step_.sent_message_ids.push_back(id);
+    step_->sent_message_ids.push_back(id);
   }
 
   void record_delivered(std::uint64_t id, ProcId dst, Time recv) {
-    if (!world_.record_full_) return;
+    if (step_ == nullptr) return;  // kOpsOnly: no message/step bookkeeping
     MessageRecord rec;
     rec.id = id;
     rec.src = self_;
@@ -190,12 +194,12 @@ class World::ContextImpl final : public Context {
     rec.recv_real = recv;
     rec.received = true;  // reliable network: everything sent is delivered
     world_.record_.messages.push_back(rec);
-    step_.sent_message_ids.push_back(id);
+    step_->sent_message_ids.push_back(id);
   }
 
   World& world_;
   ProcId self_;
-  StepRecord& step_;
+  StepRecord* step_;  ///< null under RecordDetail::kOpsOnly
 };
 
 World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::move(config)) {
@@ -251,7 +255,7 @@ World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::m
     step.proc = p;
     step.real_time = 0;
     step.clock_time = config_.clock_offsets[static_cast<std::size_t>(p)];
-    ContextImpl ctx(*this, p, step);
+    ContextImpl ctx(*this, p, record_full_ ? &step : nullptr);
     processes_[static_cast<std::size_t>(p)]->on_start(ctx);
   }
 }
@@ -328,6 +332,10 @@ void World::schedule_invoke(Time when, ProcId proc, std::string op, adt::OpId op
 // must replay byte-identically from the seed, so detlint's reachability pass
 // bans wall-clock/randomness/hash-order tokens below this frame.
 void World::run(std::uint64_t max_events) {
+  // Open-loop serving plans schedule 10^5-10^6 invocations before running;
+  // each becomes exactly one OpRecord, so pre-size the vector once instead
+  // of paying ~20 growth copies of million-element records.
+  record_.ops.reserve(record_.ops.size() + pending_invokes_.size());
   std::uint64_t handled = 0;
   if (config_.scheduler == SchedulerKind::kBinaryHeap) {
     while (!queue_.empty()) {
@@ -352,12 +360,28 @@ void World::run(std::uint64_t max_events) {
 }
 
 void World::dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_t payload_slot) {
+  // One perfectly-predicted branch selects the instantiation; the slim body
+  // contains no StepRecord at all, so kOpsOnly dispatch is handler + op
+  // bookkeeping and nothing else.
+  if (record_full_) {
+    dispatch_impl<true>(kind, proc, id, payload_slot);
+  } else {
+    dispatch_impl<false>(kind, proc, id, payload_slot);
+  }
+}
+
+template <bool kFull>
+void World::dispatch_impl(EventKind kind, ProcId proc, std::uint64_t id,
+                          std::uint64_t payload_slot) {
   const auto pi = static_cast<std::size_t>(proc);
 
   StepRecord step;
-  step.proc = proc;
-  step.real_time = now_;
-  step.clock_time = snap(now_ * config_.clock_rates[pi] + config_.clock_offsets[pi]);
+  if constexpr (kFull) {
+    step.proc = proc;
+    step.real_time = now_;
+    step.clock_time = snap(now_ * config_.clock_rates[pi] + config_.clock_offsets[pi]);
+  }
+  StepRecord* step_ptr = kFull ? &step : nullptr;
 
   switch (kind) {
     case EventKind::kInvoke: {
@@ -368,8 +392,8 @@ void World::dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_
       auto inv = pending_invokes_.take(id);
       if (!inv) break;  // should not happen
 
-      step.trigger = Trigger::kInvoke;
-      if (record_full_) {
+      if constexpr (kFull) {
+        step.trigger = Trigger::kInvoke;
         step.op = inv->op;
         step.arg = inv->arg;
       }
@@ -389,7 +413,7 @@ void World::dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_
       // through on_invoke (responses and hook-driven invoke_at only touch the
       // event queue and existing records).
       const OpRecord& rec = record_.ops[static_cast<std::size_t>(pending_op_[pi])];
-      ContextImpl ctx(*this, proc, step);
+      ContextImpl ctx(*this, proc, step_ptr);
       if (rec.op_id.valid()) {
         processes_[pi]->on_invoke_id(ctx, rec.op_id, rec.op, rec.arg);
       } else {
@@ -401,16 +425,20 @@ void World::dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_
       if (config_.scheduler == SchedulerKind::kBinaryHeap) {
         auto msg = in_flight_.take(id);
         if (!msg) break;  // should not happen
-        step.trigger = Trigger::kMessage;
-        step.message_id = id;
-        ContextImpl ctx(*this, proc, step);
+        if constexpr (kFull) {
+          step.trigger = Trigger::kMessage;
+          step.message_id = id;
+        }
+        ContextImpl ctx(*this, proc, step_ptr);
         processes_[pi]->on_message(ctx, msg->src, msg->payload);
       } else {
         auto* sp = payloads_.find(payload_slot);
         if (sp == nullptr) break;  // should not happen
-        step.trigger = Trigger::kMessage;
-        step.message_id = id;
-        ContextImpl ctx(*this, proc, step);
+        if constexpr (kFull) {
+          step.trigger = Trigger::kMessage;
+          step.message_id = id;
+        }
+        ContextImpl ctx(*this, proc, step_ptr);
         processes_[pi]->on_message(ctx, sp->src, sp->payload);
         // Re-find before releasing: the handler may have grown the arena
         // (deque slots are reference-stable, but re-checking costs nothing
@@ -423,15 +451,17 @@ void World::dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_
     case EventKind::kTimer: {
       auto timer = timers_.take(id);
       if (!timer) return;  // cancelled; not a step at all
-      step.trigger = Trigger::kTimer;
-      step.timer_id = id;
-      ContextImpl ctx(*this, proc, step);
+      if constexpr (kFull) {
+        step.trigger = Trigger::kTimer;
+        step.timer_id = id;
+      }
+      ContextImpl ctx(*this, proc, step_ptr);
       processes_[pi]->on_timer(ctx, TimerId{id}, timer->data);
       break;
     }
   }
 
-  if (record_full_) record_.steps.push_back(std::move(step));
+  if constexpr (kFull) record_.steps.push_back(std::move(step));
 }
 
 }  // namespace lintime::sim

@@ -3,7 +3,6 @@
 // processes, the network (delay model), clocks (offsets) and the trace
 // recorder.  One World = one run of the model of Section 2.2.
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -95,6 +94,10 @@ class World {
   /// Throws if this would overlap a still-pending invocation known at call
   /// time (the model allows at most one pending instance per process); the
   /// run loop re-checks at execution time.
+  ///
+  /// detlint-deprecated(hot-loop): the string overload resolves the name per
+  /// call; scheduling loops (bench/, harness) must intern once and use the
+  /// OpId overload below.  Kept for one-off calls and name-driven tests.
   void invoke_at(Time when, ProcId proc, std::string op, adt::Value arg);
 
   /// Interned-dispatch overload for hot scheduling loops: no per-call name
@@ -116,6 +119,12 @@ class World {
   [[nodiscard]] const ModelParams& params() const { return config_.params; }
   [[nodiscard]] const std::vector<OpRecord>& ops() const { return record_.ops; }
   [[nodiscard]] const RunRecord& record() const { return record_; }
+
+  /// Moves the record out of a finished world.  A million-op serving run's
+  /// record owns ~3M heap blocks (op names, arguments, returns); callers
+  /// that would otherwise copy-and-discard (harness::execute) take it
+  /// instead.  The world must not dispatch again afterwards.
+  [[nodiscard]] RunRecord take_record() { return std::move(record_); }
 
   /// Direct access to a process (for end-of-run state inspection, e.g. the
   /// History Oblivion checks in the shift experiments).
@@ -158,7 +167,7 @@ class World {
 
   struct PendingTimer {
     ProcId proc;
-    std::any data;
+    Payload data;
   };
 
   struct PendingInvoke {
@@ -171,15 +180,18 @@ class World {
   struct PendingMessage {
     ProcId src;
     ProcId dst;
-    std::any payload;
+    Payload payload;
   };
 
   /// Ring scheduler: one stored payload per send OR broadcast; `remaining`
   /// deliveries reference the slot before it is reclaimed.  This is what
   /// makes Algorithm 1's broadcasts cheap -- n-1 ring entries fan out from
-  /// one payload instead of n-1 deep copies of the announcement.
+  /// one payload instead of n-1 deep copies of the announcement.  The
+  /// payload itself is a typed inline record (sim/payload.hpp); the rare
+  /// oversized argument is a refcounted box inside PayloadVal, so even then
+  /// fan-out shares one heap object.
   struct SharedPayload {
-    std::any payload;
+    Payload payload;
     ProcId src = 0;
     std::uint32_t remaining = 0;
   };
@@ -189,6 +201,14 @@ class World {
 
   void schedule_invoke(Time when, ProcId proc, std::string op, adt::OpId op_id, adt::Value arg);
   void dispatch(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_t payload_slot);
+
+  /// The dispatch body, instantiated once per RecordDetail level.  kFull
+  /// carries a StepRecord through the handler and appends it to the trace;
+  /// the slim instantiation passes a null step and touches no per-step or
+  /// per-message bookkeeping at all -- at serving scale (10^6 ops, ~10^7
+  /// steps) that bookkeeping was a measurable share of the hot loop.
+  template <bool kFull>
+  void dispatch_impl(EventKind kind, ProcId proc, std::uint64_t id, std::uint64_t payload_slot);
   [[nodiscard]] int tie_rank_of(EventKind kind) const;
   void push_event(Event ev);
   void push_ring(EventKind kind, Time when, ProcId proc, std::uint64_t id, std::uint64_t slot);

@@ -72,6 +72,21 @@ TEST(DetlintRules, ThreadSpawnFixture) {
   expect_rule_on_lines("bad_thread.cpp", "thread-spawn", {6, 11, 16, 17});
 }
 
+TEST(DetlintRules, AnyPayloadFixture) {
+  // The fixture's path puts it in scope (src/sim/); std::any_of on its last
+  // function stays clean (longer identifier, not the std::any token).
+  expect_rule_on_lines("src/sim/bad_any_payload.cpp", "any-payload", {3, 9, 10, 13});
+}
+
+TEST(DetlintRules, AnyPayloadScopedToHotLoopTrees) {
+  // The identical content outside src/sim|src/core|src/baseline is allowed:
+  // std::any is only banned where the typed-payload refactor removed it.
+  const std::string text = read_fixture("src/sim/bad_any_payload.cpp");
+  EXPECT_TRUE(detlint::scan_source("tools/scratch/any_ok.cpp", text, Config{}).empty());
+  EXPECT_FALSE(detlint::scan_source("src/core/any_bad.cpp", text, Config{}).empty());
+  EXPECT_FALSE(detlint::scan_source("src/baseline/any_bad.cpp", text, Config{}).empty());
+}
+
 TEST(DetlintRules, GoodFixturesAreClean) {
   for (const std::string name : {"good_clean.cpp", "good_suppressed.cpp"}) {
     const std::vector<Finding> findings = scan_fixture(name);

@@ -1,0 +1,19 @@
+// Fixture: every std::any use below must trip `any-payload` (the path is
+// under src/sim/, the rule's scope).  std::any_of must NOT trip it.
+#include <any>
+
+#include <algorithm>
+#include <vector>
+
+int bad_member() {
+  std::any payload = 42;  // type-erased payload on the message plane
+  return std::any_cast<int>(payload);
+}
+
+std::any bad_factory() { return std::make_any<int>(7); }
+
+bool fine_algorithm(const std::vector<int>& v) {
+  // Control: the <algorithm> std::any_of is a longer identifier and stays
+  // clean under this rule.
+  return std::any_of(v.begin(), v.end(), [](int x) { return x > 0; });
+}

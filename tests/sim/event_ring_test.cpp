@@ -178,20 +178,42 @@ TEST(EventRingTest, RandomizedAgainstBinaryHeap) {
 // Scheduler equivalence: event ring vs. legacy binary heap
 // ---------------------------------------------------------------------------
 
-/// Runs one spec under both schedulers and asserts byte-identical records.
-/// `make_spec` is invoked once per run: stateful delay models draw from a
-/// sequential RNG, so each run needs a freshly seeded instance.
+std::string ops_to_string(const RunRecord& record) {
+  std::string out;
+  for (const auto& op : record.ops) {
+    out += op.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+/// Runs one spec under the full {heap, ring} x {kFull, kOpsOnly} matrix and
+/// asserts byte-identical records between schedulers at each detail level,
+/// plus byte-identical ops arrays across ALL four runs (the detail knob
+/// changes what is recorded, never what happens).  `make_spec` is invoked
+/// once per run: stateful delay models draw from a sequential RNG, so each
+/// run needs a freshly seeded instance.
 void expect_schedulers_agree(const adt::DataType& type,
                              const std::function<harness::RunSpec()>& make_spec,
                              const std::string& label) {
-  harness::RunSpec heap_spec = make_spec();
-  heap_spec.scheduler = SchedulerKind::kBinaryHeap;
-  const auto heap = harness::execute(type, heap_spec);
-  harness::RunSpec ring_spec = make_spec();
-  ring_spec.scheduler = SchedulerKind::kEventRing;
-  const auto ring = harness::execute(type, ring_spec);
-  EXPECT_EQ(record_to_string(heap.record), record_to_string(ring.record)) << label;
-  EXPECT_EQ(heap.final_states, ring.final_states) << label;
+  harness::RunResult runs[2][2];  // [scheduler][detail]
+  for (const auto sched : {SchedulerKind::kBinaryHeap, SchedulerKind::kEventRing}) {
+    for (const auto detail : {RecordDetail::kFull, RecordDetail::kOpsOnly}) {
+      harness::RunSpec spec = make_spec();
+      spec.scheduler = sched;
+      spec.record_detail = detail;
+      runs[sched == SchedulerKind::kEventRing ? 1 : 0]
+          [detail == RecordDetail::kOpsOnly ? 1 : 0] = harness::execute(type, spec);
+    }
+  }
+  EXPECT_EQ(record_to_string(runs[0][0].record), record_to_string(runs[1][0].record))
+      << label << " (full detail)";
+  EXPECT_EQ(record_to_string(runs[0][1].record), record_to_string(runs[1][1].record))
+      << label << " (ops only)";
+  EXPECT_EQ(runs[0][0].final_states, runs[1][0].final_states) << label;
+  const std::string ops = ops_to_string(runs[0][0].record);
+  EXPECT_EQ(ops, ops_to_string(runs[0][1].record)) << label << " (heap, detail levels)";
+  EXPECT_EQ(ops, ops_to_string(runs[1][1].record)) << label << " (ring ops-only vs heap full)";
 }
 
 TEST(SchedulerEquivalenceTest, SixtySeedsByteIdentical) {
@@ -245,6 +267,32 @@ TEST(SchedulerEquivalenceTest, TieStormByteIdentical) {
       return spec;
     };
     expect_schedulers_agree(queue, make_spec, "tie storm seed " + std::to_string(seed));
+  }
+}
+
+TEST(SchedulerEquivalenceTest, BroadcastTieStormByteIdentical) {
+  // All six processes invoke MUTATORS at the same instants under the default
+  // constant delay, so every epoch fans n*(n-1) broadcast deliveries out to
+  // identical arrival times.  The ring's shared-payload fan-out (one stored
+  // payload, n-1 referencing entries) must replay the heap's per-send
+  // delivery order exactly -- at both record detail levels, via the matrix
+  // in expect_schedulers_agree.
+  adt::QueueType queue;
+  for (const std::uint64_t seed : {3u, 14u, 15u, 92u}) {
+    const auto make_spec = [seed] {
+      harness::RunSpec spec;
+      spec.params = ModelParams{6, 10.0, 2.0, 0.0};
+      spec.params.eps = spec.params.optimal_eps();
+      std::mt19937_64 rng(seed);
+      for (int i = 0; i < 5; ++i) {
+        for (int p = 0; p < 6; ++p) {
+          spec.calls.push_back(harness::Call{
+              30.0 * i, p, "enqueue", adt::Value{static_cast<std::int64_t>(rng() % 100)}});
+        }
+      }
+      return spec;
+    };
+    expect_schedulers_agree(queue, make_spec, "broadcast storm seed " + std::to_string(seed));
   }
 }
 

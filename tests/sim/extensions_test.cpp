@@ -25,10 +25,10 @@ class ClockProbe : public Process {
   explicit ClockProbe(std::vector<double>& readings) : readings_(readings) {}
   void on_invoke(Context& ctx, const std::string&, const adt::Value&) override {
     readings_.push_back(ctx.local_time());
-    ctx.set_timer(10.0, 0);  // 10 local units
+    ctx.set_timer(10.0, Payload{});  // 10 local units
   }
-  void on_message(Context&, ProcId, const std::any&) override {}
-  void on_timer(Context& ctx, TimerId, const std::any&) override {
+  void on_message(Context&, ProcId, const Payload&) override {}
+  void on_timer(Context& ctx, TimerId, const Payload&) override {
     readings_.push_back(ctx.local_time());
     ctx.respond(adt::Value::nil());
   }

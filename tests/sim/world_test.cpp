@@ -6,7 +6,6 @@
 
 #include <gtest/gtest.h>
 
-#include <any>
 #include <limits>
 #include <string>
 #include <vector>
@@ -16,7 +15,8 @@
 namespace lintime::sim {
 namespace {
 
-/// Scriptable probe process for kernel tests.
+/// Scriptable probe process for kernel tests.  Payloads are typed records;
+/// the probe's tag vocabulary below maps to the names its log strings use.
 class Probe : public Process {
  public:
   struct Log {
@@ -24,24 +24,42 @@ class Probe : public Process {
     std::vector<Time> local_times;
   };
 
+  enum Tag : std::uint32_t { kHello, kAll, kTick, kCancelled };
+
+  static const char* tag_name(std::uint32_t tag) {
+    switch (tag) {
+      case kHello: return "hello";
+      case kAll: return "all";
+      case kTick: return "tick";
+      case kCancelled: return "cancelled";
+      default: return "?";
+    }
+  }
+
+  static Payload tagged(std::uint32_t tag) {
+    Payload p;
+    p.tag = tag;
+    return p;
+  }
+
   explicit Probe(Log& log) : log_(log) {}
 
   void on_invoke(Context& ctx, const std::string& op, const adt::Value& arg) override {
     log_.events.push_back("invoke:" + op);
     log_.local_times.push_back(ctx.local_time());
     if (op == "ping") {
-      ctx.send((ctx.self() + 1) % ctx.n(), std::string("hello"));
+      ctx.send((ctx.self() + 1) % ctx.n(), tagged(kHello));
       ctx.respond(adt::Value::nil());
     } else if (op == "timer") {
       timer_ = ctx.set_timer(arg.is_int() ? static_cast<Time>(arg.as_int()) : 1.0,
-                             std::string("tick"));
+                             tagged(kTick));
       ctx.respond(adt::Value::nil());
     } else if (op == "timer_cancel") {
-      auto id = ctx.set_timer(1.0, std::string("cancelled"));
+      auto id = ctx.set_timer(1.0, tagged(kCancelled));
       ctx.cancel_timer(id);
       ctx.respond(adt::Value::nil());
     } else if (op == "broadcast") {
-      ctx.broadcast(std::string("all"));
+      ctx.broadcast(tagged(kAll));
       ctx.respond(adt::Value::nil());
     } else if (op == "silent") {
       ctx.respond(adt::Value{ctx.self()});
@@ -50,14 +68,14 @@ class Probe : public Process {
     }
   }
 
-  void on_message(Context& ctx, ProcId src, const std::any& payload) override {
-    log_.events.push_back("msg:" + std::any_cast<std::string>(payload) + ":from" +
+  void on_message(Context& ctx, ProcId src, const Payload& payload) override {
+    log_.events.push_back("msg:" + std::string(tag_name(payload.tag)) + ":from" +
                           std::to_string(src));
     log_.local_times.push_back(ctx.local_time());
   }
 
-  void on_timer(Context& ctx, TimerId, const std::any& data) override {
-    log_.events.push_back("timer:" + std::any_cast<std::string>(data));
+  void on_timer(Context& ctx, TimerId, const Payload& data) override {
+    log_.events.push_back("timer:" + std::string(tag_name(data.tag)));
     log_.local_times.push_back(ctx.local_time());
   }
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fail-soft serving-throughput regression check for the CI bench smoke.
+
+Compares the fresh BM_ServingThroughput_Ring/100000 ops_per_sec from a
+google-benchmark JSON file against the committed baseline and prints a
+GitHub `::warning::` annotation when throughput dropped by more than the
+threshold (default 20%).  ALWAYS exits 0: CI runners are shared and noisy,
+so a slow run must never block a merge -- the annotation puts the number in
+front of a human instead.
+
+Stdlib-only on purpose: CI (and anyone locally) can run it with a bare
+python3.
+
+    python3 tools/ci/check_bench_regress.py \
+        --fresh BENCH_serving_smoke.json \
+        --baseline tools/ci/bench_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+BENCH_NAME = "BM_ServingThroughput_Ring/100000"
+
+
+def warn(message: str) -> None:
+    # `::warning::` renders as an annotation on the workflow run.
+    print(f"::warning::check_bench_regress: {message}")
+
+
+def fresh_ops_per_sec(path: str) -> float | None:
+    """ops_per_sec of the smoke benchmark from google-benchmark JSON output.
+
+    Returns None (after printing a warning) on any shape surprise: a missing
+    artifact must surface as an annotation, not a hard failure.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        warn(f"cannot read fresh benchmark JSON {path}: {err}")
+        return None
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) carry the same counters; the
+        # plain repetition row is the first match and what we compare.
+        if bench.get("name") == BENCH_NAME and "ops_per_sec" in bench:
+            return float(bench["ops_per_sec"])
+    warn(f"{path} has no '{BENCH_NAME}' entry with an ops_per_sec counter")
+    return None
+
+
+def baseline_ops_per_sec(path: str) -> float | None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        warn(f"cannot read baseline {path}: {err}")
+        return None
+    entry = doc.get(BENCH_NAME)
+    if not isinstance(entry, dict) or "ops_per_sec" not in entry:
+        warn(f"baseline {path} has no ops_per_sec for '{BENCH_NAME}'")
+        return None
+    return float(entry["ops_per_sec"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, help="google-benchmark JSON from this run")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="warn when fresh ops/s falls more than this fraction below baseline",
+    )
+    args = parser.parse_args()
+
+    fresh = fresh_ops_per_sec(args.fresh)
+    base = baseline_ops_per_sec(args.baseline)
+    if fresh is None or base is None or base <= 0:
+        sys.exit(0)  # fail-soft: the warning above is the whole report
+
+    ratio = fresh / base
+    line = (
+        f"{BENCH_NAME}: fresh {fresh:,.0f} ops/s vs baseline {base:,.0f} ops/s "
+        f"({ratio:.2f}x)"
+    )
+    if ratio < 1.0 - args.threshold:
+        warn(f"serving throughput regressed >{args.threshold:.0%}: {line}")
+    else:
+        print(f"check_bench_regress: OK — {line}")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

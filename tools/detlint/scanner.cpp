@@ -655,13 +655,58 @@ void rule_thread_spawn(const std::string& path, const std::vector<std::string>& 
   }
 }
 
+/// The typed-payload refactor removed std::any from the simulator message
+/// plane (sim::Payload / PayloadVal carry a closed set of shapes inline);
+/// this rule keeps it out of the hot-loop trees so the per-send heap
+/// allocation + RTTI dispatch cannot creep back.  Scope is deliberately
+/// narrow — src/sim, src/core and src/baseline — because std::any is fine
+/// in cold code (tools, tests) and banning it repo-wide would be dogma, not
+/// determinism.  `std::any_of` (the algorithm) must NOT match: the token
+/// check requires a non-identifier character after "any".
+void rule_any_payload(const std::string& path, const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw, Sink& out) {
+  static const std::vector<std::string> kScopes = {"src/sim/", "src/core/", "src/baseline/"};
+  bool in_scope = false;
+  for (const auto& scope : kScopes) {
+    in_scope = in_scope || path.compare(0, scope.size(), scope) == 0;
+  }
+  if (!in_scope) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool hit = has_word(line, "any_cast") || has_word(line, "make_any");
+    if (!hit) {
+      std::size_t pos = 0;
+      while ((pos = line.find("std::any", pos)) != std::string::npos) {
+        const std::size_t end = pos + 8;  // len("std::any")
+        if (end >= line.size() || !is_ident(line[end])) {
+          hit = true;
+          break;
+        }
+        pos = end;  // std::any_of / std::any_thing: a longer identifier
+      }
+    }
+    if (!hit) {
+      const std::size_t h = line.find('#');
+      hit = h != std::string::npos && find_word(line, "include", h) != std::string::npos &&
+            line.find("<any>") != std::string::npos;
+    }
+    if (hit) {
+      emit(out, path, i, "any-payload",
+           "std::any in the simulator hot-loop trees: payloads are typed (sim::Payload / "
+           "PayloadVal); type-erased values reintroduce a heap allocation and RTTI "
+           "dispatch per send",
+           raw);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "wall-clock",     "global-rand",    "unseeded-engine", "unordered-iter",
-      "pointer-key",    "mutable-static", "thread-spawn",    "bad-suppression",
-      "bad-capability", "det-reachability"};
+      "pointer-key",    "mutable-static", "thread-spawn",    "any-payload",
+      "bad-suppression", "bad-capability", "det-reachability"};
   return kRules;
 }
 
@@ -675,6 +720,10 @@ std::string rule_description(const std::string& rule) {
   if (rule == "thread-spawn") {
     return "std::thread/std::async/detach outside a 'threads'-granted function";
   }
+  if (rule == "any-payload") {
+    return "std::any / any_cast / make_any in the simulator hot-loop trees "
+           "(src/sim, src/core, src/baseline)";
+  }
   if (rule == "bad-suppression") return "malformed or unknown detlint:allow(...) markers";
   if (rule == "bad-capability") {
     return "malformed/unknown/unattached detlint:capability(...) annotations";
@@ -686,7 +735,8 @@ std::string rule_description(const std::string& rule) {
 }
 
 const std::vector<std::string>& all_capabilities() {
-  static const std::vector<std::string> kCaps = {"threads", "rng", "wall-clock", "unordered"};
+  static const std::vector<std::string> kCaps = {"threads", "rng", "wall-clock", "unordered",
+                                                 "type-erasure"};
   return kCaps;
 }
 
@@ -695,6 +745,7 @@ std::string rule_capability(const std::string& rule) {
   if (rule == "wall-clock") return "wall-clock";
   if (rule == "global-rand" || rule == "unseeded-engine") return "rng";
   if (rule == "unordered-iter" || rule == "pointer-key") return "unordered";
+  if (rule == "any-payload") return "type-erasure";
   return "";
 }
 
@@ -729,6 +780,7 @@ FileScan scan_file(const std::string& path, const std::string& text, const Confi
   rule_pointer_key(path, code, fs.raw, found);
   rule_mutable_static(path, code, fs.raw, found);
   rule_thread_spawn(path, code, fs.raw, found);
+  rule_any_payload(path, code, fs.raw, found);
 
   std::sort(found.begin(), found.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
