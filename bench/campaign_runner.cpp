@@ -1,222 +1,99 @@
-// campaign_runner: the CLI for the campaign subsystem.  Expands one of the
-// built-in experiment grids into jobs, runs them on a worker pool, and
-// writes machine-readable artifacts (JSON / CSV) plus an optional
+// campaign_runner: the CLI for the campaign subsystem.  Campaigns are no
+// longer hard-coded grids: every experiment is a scenario file (strict
+// mini-TOML, src/scenario) expanded into jobs, run on a worker pool, and
+// written as machine-readable artifacts (JSON / CSV) plus an optional
 // wall-clock bench entry.  The deterministic sinks are byte-identical for
 // any --jobs value; only the bench entry (wall time) varies.
 //
 // Usage:
-//   campaign_runner [--campaign NAME] [--jobs N] [--json PATH] [--csv PATH]
-//                   [--bench-out PATH] [--quiet] [--list]
+//   campaign_runner [--campaign NAME | --scenario FILE] [--scenario-dir DIR]
+//                   [--axis NAME=V1,V2,...] [--serving-ops N] [--jobs N]
+//                   [--json PATH] [--csv PATH] [--bench-out PATH]
+//                   [--quiet] [--list] [--digests] [--check-corpus]
 //
-// Campaigns:
-//   tradeoff    X-grid x n x seeds over random queue workloads (81 jobs,
-//               linearizability-checked) -- the parallel form of the
-//               tradeoff_sweep / Section 5.1.2 experiment.
-//   robustness  drift/drop grids x seeds (the assumption-sensitivity sweep).
-//   latency     u x algorithm x seeds latency distributions.
-//   serving     sharded multi-object throughput: ops-scale x scheduler
-//               (event ring vs. legacy binary heap), ops/sec in the bench
-//               entry.  --serving-ops N restricts the grid to one scale.
+//   --campaign NAME     load DIR/NAME.toml (default: tradeoff)
+//   --scenario FILE     load an explicit scenario file instead
+//   --axis NAME=...     override one axis's values everywhere it is declared
+//   --serving-ops N     sugar for --axis ops=N (the serving scales)
+//   --list              print the scenario names in DIR, sorted
+//   --digests           print "NAME DIGEST JOBS" for every scenario in DIR
+//   --check-corpus      like --digests, but verify against DIR/digests.txt
+//
+// The default DIR is the checked-in scenarios/ corpus (compiled in as
+// LINTIME_SCENARIO_DIR); the corpus digests pin expansion semantics.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <memory>
-#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "adt/queue_type.hpp"
-#include "adt/register_type.hpp"
 #include "campaign/executor.hpp"
-#include "campaign/grid.hpp"
 #include "campaign/sink.hpp"
-#include "core/sharded_store.hpp"
-#include "harness/runner.hpp"
-#include "sim/delay_model.hpp"
+#include "scenario/expand.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef LINTIME_SCENARIO_DIR
+#define LINTIME_SCENARIO_DIR "scenarios"
+#endif
 
 namespace {
 
 using namespace lintime;
 
-// The X-grid of tradeoff_sweep (9 steps over [0, d-eps]) crossed with n and
-// workload seeds: 9 x 3 x 3 = 81 jobs, each a random closed-loop queue
-// workload under uniformly random delays, checked for linearizability.
-campaign::CampaignSpec build_tradeoff(const adt::DataType& type) {
-  campaign::CampaignSpec spec;
-  spec.name = "tradeoff";
-  const int kSteps = 8;
-  std::vector<double> xfrac;
-  for (int i = 0; i <= kSteps; ++i) xfrac.push_back(static_cast<double>(i) / kSteps);
-
-  const auto points = campaign::Grid{}
-                          .axis("n", std::vector<int>{3, 5, 8})
-                          .axis("xfrac", xfrac)
-                          .range("seed", 1, 3)
-                          .points();
-  for (const auto& p : points) {
-    sim::ModelParams params{static_cast<int>(p.integer("n")), 10.0, 2.0, 0.0};
-    params.eps = params.optimal_eps();
-    const auto seed = static_cast<std::uint64_t>(p.integer("seed"));
-
-    campaign::Job job;
-    job.name = p.label();
-    job.tags = p.coords();
-    job.type = &type;
-    job.spec.params = params;
-    job.spec.algo = harness::AlgoKind::kAlgorithmOne;
-    job.spec.X = (params.d - params.eps) * p.num("xfrac");
-    job.spec.delays =
-        std::make_shared<sim::UniformRandomDelay>(params.min_delay(), params.d, seed);
-    job.spec.scripts = harness::random_scripts(type, params.n, 4, seed * 31);
-    job.check_linearizability = true;
-    spec.jobs.push_back(std::move(job));
-  }
-  return spec;
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--campaign NAME | --scenario FILE] [--scenario-dir DIR]\n"
+      "          [--axis NAME=V1,V2,...] [--serving-ops N] [--jobs N]\n"
+      "          [--json PATH] [--csv PATH] [--bench-out PATH]\n"
+      "          [--quiet] [--list] [--digests] [--check-corpus]\n",
+      argv0);
+  return 2;
 }
 
-// The assumption-sensitivity sweep of bench/robustness.cpp as a campaign:
-// drift levels and drop probabilities crossed with seeds.
-campaign::CampaignSpec build_robustness(const adt::DataType& type) {
-  campaign::CampaignSpec spec;
-  spec.name = "robustness";
-  sim::ModelParams params{4, 10.0, 2.0, 1.5};
-
-  auto add = [&](const std::string& mode, double level, int seed) {
-    campaign::Job job;
-    job.name = mode + "=" + campaign::fmt_double(level) + "/seed=" + std::to_string(seed);
-    job.tags = {{"mode", mode}, {"level", campaign::fmt_double(level)},
-                {"seed", std::to_string(seed)}};
-    job.type = &type;
-    job.spec.params = params;
-    job.spec.algo = harness::AlgoKind::kAlgorithmOne;
-    job.spec.X = 0.0;
-    job.spec.delays = std::make_shared<sim::UniformRandomDelay>(
-        params.min_delay(), params.d, static_cast<std::uint64_t>(seed));
-    if (mode == "drift") {
-      job.spec.clock_rates = {1.0 + level, 1.0 - level, 1.0 + level, 1.0 - level};
-    } else {
-      job.spec.drop_probability = level;
-      job.spec.drop_seed = static_cast<std::uint64_t>(seed) * 13;
-    }
-    const auto scripts =
-        harness::random_scripts(type, params.n, 8, static_cast<std::uint64_t>(seed) * 7);
-    double t = 0;
-    for (std::size_t i = 0; i < 8; ++i) {
-      for (int p = 0; p < params.n; ++p) {
-        job.spec.calls.push_back(harness::Call{t + p * 0.25, p,
-                                               scripts[static_cast<std::size_t>(p)][i].op,
-                                               scripts[static_cast<std::size_t>(p)][i].arg});
-      }
-      t += 40.0;
-    }
-    job.check_linearizability = true;
-    spec.jobs.push_back(std::move(job));
-  };
-
-  for (const double rho : {0.0, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1}) {
-    for (int seed = 1; seed <= 6; ++seed) add("drift", rho, seed);
+/// Scenario basenames in `dir`, sorted -- the corpus in a stable order.
+std::vector<std::string> corpus_names(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".toml") names.push_back(entry.path().stem().string());
   }
-  for (const double p : {0.0, 0.001, 0.01, 0.05, 0.1, 0.3}) {
-    for (int seed = 1; seed <= 6; ++seed) add("drop", p, seed);
-  }
-  return spec;
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
-// Latency distributions (bench/latency_distribution.cpp) as a campaign:
-// u x algorithm x seeds.
-campaign::CampaignSpec build_latency(const adt::DataType& type) {
-  campaign::CampaignSpec spec;
-  spec.name = "latency";
-  const auto points = campaign::Grid{}
-                          .axis("u", std::vector<double>{0.5, 2.0, 4.0})
-                          .axis("algo", {std::string("algorithm1"), std::string("centralized")})
-                          .range("seed", 1, 20)
-                          .points();
-  for (const auto& p : points) {
-    sim::ModelParams params{5, 10.0, p.num("u"), 0.0};
-    params.eps = params.optimal_eps();
-    const auto seed = static_cast<std::uint64_t>(p.integer("seed"));
-
-    campaign::Job job;
-    job.name = p.label();
-    job.tags = p.coords();
-    job.type = &type;
-    job.spec.params = params;
-    job.spec.algo = p.get("algo") == "centralized" ? harness::AlgoKind::kCentralized
-                                                   : harness::AlgoKind::kAlgorithmOne;
-    job.spec.X = job.spec.algo == harness::AlgoKind::kAlgorithmOne
-                     ? (params.d - params.eps) / 2
-                     : 0.0;
-    job.spec.delays =
-        std::make_shared<sim::UniformRandomDelay>(params.min_delay(), params.d, seed);
-    job.spec.scripts = harness::random_scripts(type, params.n, 6, seed * 31);
-    spec.jobs.push_back(std::move(job));
-  }
-  return spec;
-}
-
-// The serving-layer throughput sweep: a ShardedStore of registers with as
-// many keys as operations, driven by an open-loop pre-scheduled arrival
-// plan at n = 8 processes, crossed with the scheduler (event ring vs. the
-// legacy binary heap it replaced).  Jobs run with kOpsOnly recording and no
-// linearizability check -- the point is end-to-end simulator throughput,
-// reported as ops/sec in the bench entry; correctness at this scale is
-// covered by the sharded-store and event-ring test suites.
-struct ServingCampaign {
-  // Heap-allocated so addresses stay stable when the struct is moved out of
-  // build_serving (stores reference the component; jobs reference stores).
-  std::unique_ptr<adt::RegisterType> component;
-  std::vector<std::unique_ptr<core::ShardedStore>> stores;  ///< one per scale
-  campaign::CampaignSpec spec;
-};
-
-ServingCampaign build_serving(std::int64_t ops_override) {
-  ServingCampaign out;
-  out.component = std::make_unique<adt::RegisterType>();
-  out.spec.name = "serving";
-
-  std::vector<std::int64_t> scales{100'000, 1'000'000};
-  if (ops_override > 0) scales = {ops_override};
-
-  const int n = 8;
-  const int kShards = 16;
-  for (const std::int64_t ops : scales) {
-    // One store per scale: the keyspace is as large as the workload, so a
-    // 10^6-op job addresses 10^6 distinct keys.
-    out.stores.push_back(std::make_unique<core::ShardedStore>(*out.component, ops, kShards));
-    const core::ShardedStore& store = *out.stores.back();
-    const auto calls = harness::sharded_calls(store, n, static_cast<int>(ops / n), 42);
-
-    for (const auto sched : {sim::SchedulerKind::kEventRing, sim::SchedulerKind::kBinaryHeap}) {
-      const bool ring = sched == sim::SchedulerKind::kEventRing;
-      campaign::Job job;
-      job.name = "ops=" + std::to_string(ops) + "/sched=" + (ring ? "ring" : "heap");
-      job.tags = {{"ops", std::to_string(ops)}, {"sched", ring ? "ring" : "heap"}};
-      job.type = &store;
-      job.spec.params = sim::ModelParams{n, 10.0, 2.0, 0.0};
-      job.spec.params.eps = job.spec.params.optimal_eps();
-      job.spec.algo = harness::AlgoKind::kShardedServing;
-      job.spec.X = 0.0;
-      job.spec.scheduler = sched;
-      job.spec.record_detail = sim::RecordDetail::kOpsOnly;
-      job.spec.max_events = 60'000'000;
-      job.spec.calls = calls;
-      job.check_linearizability = false;
-      out.spec.jobs.push_back(std::move(job));
-    }
+/// "NAME DIGEST JOBS" lines for every scenario in `dir`.
+std::string corpus_digests(const std::string& dir) {
+  std::string out;
+  for (const std::string& name : corpus_names(dir)) {
+    const auto sc = scenario::load_scenario_file(dir + "/" + name + ".toml");
+    const auto campaign = scenario::expand(sc);
+    out += name + " " + scenario::campaign_digest(campaign) + " " +
+           std::to_string(campaign.spec.jobs.size()) + "\n";
   }
   return out;
 }
 
-int usage(const char* argv0) {
-  std::printf(
-      "usage: %s [--campaign tradeoff|robustness|latency|serving] [--jobs N]\n"
-      "          [--serving-ops N] [--json PATH] [--csv PATH] [--bench-out PATH]\n"
-      "          [--quiet] [--list]\n",
-      argv0);
-  return 2;
+scenario::AxisOverride parse_axis(const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  scenario::AxisOverride ov;
+  if (eq != std::string::npos && eq != 0) {
+    ov.axis = arg.substr(0, eq);
+    std::string item;
+    std::istringstream in(arg.substr(eq + 1));
+    while (std::getline(in, item, ',')) {
+      if (!item.empty()) ov.values.push_back(item);
+    }
+  }
+  if (ov.axis.empty() || ov.values.empty()) {
+    std::fprintf(stderr, "--axis expects NAME=V1,V2,... got '%s'\n", arg.c_str());
+    std::exit(2);
+  }
+  return ov;
 }
 
 }  // namespace
@@ -226,12 +103,17 @@ int usage(const char* argv0) {
 // seed-pure.
 int main(int argc, char** argv) {
   std::string campaign_name = "tradeoff";
+  std::string scenario_path;
+  std::string scenario_dir = LINTIME_SCENARIO_DIR;
   std::string json_path;
   std::string csv_path;
   std::string bench_path;
+  std::vector<scenario::AxisOverride> overrides;
   int jobs = 0;
-  std::int64_t serving_ops = 0;  ///< 0 = full {1e5, 1e6} serving grid
   bool quiet = false;
+  bool list = false;
+  bool digests = false;
+  bool check_corpus = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -243,95 +125,124 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--campaign") campaign_name = next();
+    else if (arg == "--scenario") scenario_path = next();
+    else if (arg == "--scenario-dir") scenario_dir = next();
+    else if (arg == "--axis") overrides.push_back(parse_axis(next()));
+    else if (arg == "--serving-ops") overrides.push_back({"ops", {next()}});
     else if (arg == "--jobs") jobs = std::atoi(next());
-    else if (arg == "--serving-ops") serving_ops = std::atoll(next());
     else if (arg == "--json") json_path = next();
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--bench-out") bench_path = next();
     else if (arg == "--quiet") quiet = true;
-    else if (arg == "--list") {
-      std::printf("tradeoff\nrobustness\nlatency\nserving\n");
-      return 0;
-    } else {
+    else if (arg == "--list") list = true;
+    else if (arg == "--digests") digests = true;
+    else if (arg == "--check-corpus") check_corpus = true;
+    else {
       return usage(argv[0]);
     }
   }
 
-  adt::QueueType queue;
-  std::optional<ServingCampaign> serving;  // owns the sharded stores the jobs point at
-  campaign::CampaignSpec spec;
-  if (campaign_name == "tradeoff") spec = build_tradeoff(queue);
-  else if (campaign_name == "robustness") spec = build_robustness(queue);
-  else if (campaign_name == "latency") spec = build_latency(queue);
-  else if (campaign_name == "serving") {
-    serving.emplace(build_serving(serving_ops));
-    spec = std::move(serving->spec);
-  } else {
-    std::fprintf(stderr, "unknown campaign '%s'\n", campaign_name.c_str());
-    return usage(argv[0]);
-  }
-
-  campaign::ExecutorOptions options;
-  options.jobs = jobs;
-  if (!quiet) {
-    options.on_progress = [](std::size_t done, std::size_t total) {
-      std::fprintf(stderr, "\r[%zu/%zu]", done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    };
-  }
-
-  const int workers = campaign::resolve_jobs(jobs, spec.jobs.size());
-  if (!quiet) {
-    std::fprintf(stderr, "campaign '%s': %zu jobs on %d worker(s)\n", spec.name.c_str(),
-                 spec.jobs.size(), workers);
-  }
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto result = campaign::run_campaign(spec, options);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall = std::chrono::duration<double>(t1 - t0).count();
-
-  const auto agg = result.aggregate();
-  if (!quiet) {
-    std::fprintf(stderr,
-                 "done in %.3fs: %zu jobs, %zu failed, %zu/%zu checked linearizable\n", wall,
-                 agg.jobs_total, agg.jobs_failed, agg.jobs_linearizable, agg.jobs_checked);
-  }
-
-  if (!json_path.empty()) {
-    std::ofstream os(json_path, std::ios::binary);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return 1;
+  try {
+    if (list) {
+      for (const std::string& name : corpus_names(scenario_dir)) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     }
-    campaign::write_json(os, result);
-  }
-  if (!csv_path.empty()) {
-    std::ofstream os(csv_path, std::ios::binary);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
-      return 1;
+    if (digests || check_corpus) {
+      const std::string computed = corpus_digests(scenario_dir);
+      std::fputs(computed.c_str(), stdout);
+      if (!check_corpus) return 0;
+      std::ifstream in(scenario_dir + "/digests.txt", std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s/digests.txt\n", scenario_dir.c_str());
+        return 1;
+      }
+      std::ostringstream pinned;
+      pinned << in.rdbuf();
+      if (pinned.str() != computed) {
+        std::fprintf(stderr,
+                     "corpus digest mismatch against %s/digests.txt -- expansion semantics "
+                     "changed; regenerate with --digests if intentional\n",
+                     scenario_dir.c_str());
+        return 1;
+      }
+      if (!quiet) std::fprintf(stderr, "corpus digests OK\n");
+      return 0;
     }
-    campaign::write_csv(os, result);
-  }
-  if (!bench_path.empty()) {
-    std::ofstream os(bench_path, std::ios::binary);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", bench_path.c_str());
-      return 1;
+
+    if (scenario_path.empty()) {
+      scenario_path = scenario_dir + "/" + campaign_name + ".toml";
     }
-    // First line: the host/build stamp, so the wall-clock entries below are
-    // interpretable after the artifact leaves the machine that recorded it.
-    os << "{\"context\":";
-    campaign::write_bench_context(os, campaign::current_bench_context());
-    os << "}\n";
-    campaign::BenchEntry entry{spec.name, spec.jobs.size(), workers, wall};
-    if (campaign_name == "serving") entry.total_ops = agg.ops_complete;
-    campaign::write_bench_entry(os, entry);
-    os << "\n";
+    const auto sc = scenario::load_scenario_file(scenario_path);
+    const auto campaign = scenario::expand(sc, overrides);
+    const campaign::CampaignSpec& spec = campaign.spec;
+
+    campaign::ExecutorOptions options;
+    options.jobs = jobs;
+    if (!quiet) {
+      options.on_progress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r[%zu/%zu]", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      };
+    }
+
+    const int workers = campaign::resolve_jobs(jobs, spec.jobs.size());
+    if (!quiet) {
+      std::fprintf(stderr, "campaign '%s': %zu jobs on %d worker(s)\n", spec.name.c_str(),
+                   spec.jobs.size(), workers);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = campaign::run_campaign(spec, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+    const auto agg = result.aggregate();
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "done in %.3fs: %zu jobs, %zu failed, %zu/%zu checked linearizable\n", wall,
+                   agg.jobs_total, agg.jobs_failed, agg.jobs_linearizable, agg.jobs_checked);
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream os(json_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+      }
+      campaign::write_json(os, result);
+    }
+    if (!csv_path.empty()) {
+      std::ofstream os(csv_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+        return 1;
+      }
+      campaign::write_csv(os, result);
+    }
+    if (!bench_path.empty()) {
+      std::ofstream os(bench_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", bench_path.c_str());
+        return 1;
+      }
+      // First line: the host/build stamp, so the wall-clock entries below are
+      // interpretable after the artifact leaves the machine that recorded it.
+      os << "{\"context\":";
+      campaign::write_bench_context(os, campaign::current_bench_context());
+      os << "}\n";
+      campaign::BenchEntry entry{spec.name, spec.jobs.size(), workers, wall};
+      if (campaign.bench_ops) entry.total_ops = agg.ops_complete;
+      campaign::write_bench_entry(os, entry);
+      os << "\n";
+    }
+    if (json_path.empty() && csv_path.empty()) {
+      campaign::write_json(std::cout, result);
+    }
+    return agg.jobs_failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
   }
-  if (json_path.empty() && csv_path.empty()) {
-    campaign::write_json(std::cout, result);
-  }
-  return agg.jobs_failed == 0 ? 0 : 1;
 }

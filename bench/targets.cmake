@@ -10,8 +10,13 @@ foreach(bench
   set_target_properties(${bench} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${bench} PRIVATE
     lintime_adt lintime_sim lintime_core lintime_baseline lintime_lin
-    lintime_shift lintime_clocksync lintime_harness lintime_campaign)
+    lintime_shift lintime_clocksync lintime_harness lintime_campaign
+    lintime_scenario)
 endforeach()
+
+# The runner resolves --campaign NAME against the checked-in corpus.
+target_compile_definitions(campaign_runner PRIVATE
+  LINTIME_SCENARIO_DIR="${CMAKE_SOURCE_DIR}/scenarios")
 
 add_executable(micro_benchmarks bench/micro_benchmarks.cpp)
 set_target_properties(micro_benchmarks PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

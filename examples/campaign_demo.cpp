@@ -1,60 +1,53 @@
-// Campaign demo: sweep Algorithm 1's tradeoff parameter X over a small
-// parameter grid, run every point as an independent job on the worker
-// pool, and emit machine-readable metrics.
+// Campaign demo: load a declarative scenario file, expand it into a
+// campaign, run every job on the worker pool, and emit machine-readable
+// metrics.
 //
-// Demonstrates the campaign public API:
-//   1. declare a parameter grid (campaign::Grid),
-//   2. expand each grid point into a harness::RunSpec job,
+// Demonstrates the scenario + campaign public API:
+//   1. parse and validate a scenario file (scenario::load_scenario_file) --
+//      every malformed construct is a hard "file:line: message" error,
+//   2. expand it into jobs (scenario::expand): axes cartesian-expanded,
+//      $references resolved, one harness::RunSpec per grid point,
 //   3. execute the campaign (deterministic: results are keyed by job
 //      index, so any --jobs count yields byte-identical output),
 //   4. aggregate latencies and print / serialize the results.
 //
-// Build & run:  ./build/examples/campaign_demo
+// Build & run:  ./build/examples/campaign_demo [scenario.toml]
+// (default: the checked-in scenarios/demo.toml)
 
 #include <cstdio>
 
-#include "adt/queue_type.hpp"
 #include "campaign/executor.hpp"
-#include "campaign/grid.hpp"
 #include "campaign/sink.hpp"
-#include "harness/runner.hpp"
+#include "scenario/expand.hpp"
+#include "scenario/scenario.hpp"
 
-int main() {
-  using lintime::adt::Value;
+#ifndef LINTIME_SCENARIO_DIR
+#define LINTIME_SCENARIO_DIR "scenarios"
+#endif
+
+int main(int argc, char** argv) {
   namespace campaign = lintime::campaign;
-  namespace harness = lintime::harness;
+  namespace scenario = lintime::scenario;
 
-  lintime::adt::QueueType queue;
+  const std::string path =
+      argc > 1 ? argv[1] : std::string(LINTIME_SCENARIO_DIR) + "/demo.toml";
 
-  // 4 X-fractions x 3 seeds = 12 jobs over the canonical 5-process model.
-  campaign::Grid grid;
-  grid.axis("xfrac", std::vector<double>{0.0, 0.25, 0.5, 1.0});
-  grid.axis("seed", std::vector<int>{1, 2, 3});
-
-  lintime::sim::ModelParams params{5, 10.0, 2.0, 0.0};
-  params.eps = params.optimal_eps();
-
-  campaign::CampaignSpec spec;
-  spec.name = "campaign-demo";
-  for (const auto& pt : grid.points()) {
-    campaign::Job job;
-    job.name = pt.label();
-    job.tags = pt.coords();
-    job.type = &queue;
-    job.check_linearizability = true;
-    job.spec.params = params;
-    job.spec.algo = harness::AlgoKind::kAlgorithmOne;
-    job.spec.X = (params.d - params.eps) * pt.num("xfrac");
-    job.spec.scripts = harness::random_scripts(
-        queue, params.n, 3, static_cast<std::uint64_t>(pt.integer("seed")) * 7u);
-    spec.jobs.push_back(std::move(job));
+  scenario::ScenarioCampaign expanded;
+  try {
+    const auto sc = scenario::load_scenario_file(path);
+    expanded = scenario::expand(sc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_demo: %s\n", e.what());
+    return 1;
   }
+
+  std::printf("scenario %s: %zu jobs (digest %s)\n\n", expanded.spec.name.c_str(),
+              expanded.spec.jobs.size(), scenario::campaign_digest(expanded).c_str());
 
   campaign::ExecutorOptions opts;
   opts.jobs = 2;
-  const auto result = campaign::run_campaign(spec, opts);
+  const auto result = campaign::run_campaign(expanded.spec, opts);
 
-  std::printf("campaign %s: %zu jobs\n\n", result.name.c_str(), result.jobs.size());
   std::printf("  %-28s %-14s %s\n", "job", "verdict", "mean latency per op");
   for (const auto& job : result.jobs) {
     std::string latencies;

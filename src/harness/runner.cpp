@@ -3,6 +3,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "harness/workload.hpp"
+
 #include "baseline/all_oop.hpp"
 #include "baseline/centralized.hpp"
 #include "baseline/seq_consistent.hpp"
@@ -108,10 +110,30 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
   config.clock_rates = spec.clock_rates;
   config.drop_probability = spec.drop_probability;
   config.drop_seed = spec.drop_seed;
+  config.faults = spec.faults;
   config.scheduler = spec.scheduler;
   config.record_detail = spec.record_detail;
 
   const bool full_detail = spec.record_detail == sim::RecordDetail::kFull;
+
+  // A workload generator materializes the plan here; explicit calls/scripts
+  // pass through untouched (the historical path, byte-identical).
+  WorkloadPlan plan;
+  const std::vector<Call>* calls = &spec.calls;
+  const std::vector<std::vector<ScriptOp>>* scripts = &spec.scripts;
+  sim::Time script_start = spec.script_start;
+  sim::Time script_gap = spec.script_gap;
+  if (spec.workload != nullptr) {
+    if (!spec.calls.empty() || !spec.scripts.empty()) {
+      throw std::invalid_argument(
+          "RunSpec: workload generator and explicit calls/scripts are mutually exclusive");
+    }
+    plan = spec.workload->generate(type, spec.params);
+    calls = &plan.calls;
+    scripts = &plan.scripts;
+    script_start = plan.script_start;
+    script_gap = plan.script_gap;
+  }
 
   // The all-OOP baseline reuses Algorithm 1 against a category-erased view
   // of the type; the decorator must outlive the world.
@@ -169,7 +191,7 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
 
   sim::World world(config, factory);
 
-  for (const auto& call : spec.calls) {
+  for (const auto& call : *calls) {
     // Intern once per call here rather than per call inside the World; names
     // the type doesn't know stay on the string overload (the process's
     // on_invoke decides what they mean).
@@ -182,18 +204,18 @@ RunResult execute(const adt::DataType& type, const RunSpec& spec) {
   }
 
   ScriptDriver driver;
-  if (!spec.scripts.empty()) {
-    if (spec.scripts.size() != static_cast<std::size_t>(spec.params.n)) {
+  if (!scripts->empty()) {
+    if (scripts->size() != static_cast<std::size_t>(spec.params.n)) {
       throw std::invalid_argument("RunSpec: scripts.size() must equal n");
     }
-    driver.scripts = spec.scripts;
+    driver.scripts = *scripts;
     driver.resolve(type);
     driver.next.assign(driver.scripts.size(), 0);
-    driver.gap = spec.script_gap;
+    driver.gap = script_gap;
     world.set_response_hook([&driver](sim::World& w, const sim::OpRecord& op) {
       driver.advance(w, op.proc, w.now() + driver.gap);
     });
-    driver.kick_off(world, spec.script_start);
+    driver.kick_off(world, script_start);
   }
 
   world.run(spec.max_events);

@@ -21,6 +21,8 @@
 
 namespace lintime::harness {
 
+class WorkloadGen;  // harness/workload.hpp
+
 /// Which shared-object implementation to run.
 enum class AlgoKind {
   kAlgorithmOne,    ///< the paper's Algorithm 1 (core/algorithm_one.hpp)
@@ -77,6 +79,11 @@ struct RunSpec {
   double drop_probability = 0;
   std::uint64_t drop_seed = 0;
 
+  /// EXTENSION: deterministic crash / link-drop schedule (sim/fault.hpp),
+  /// validated against n when the World is built.  An empty schedule leaves
+  /// the run byte-identical to one without it.
+  sim::FaultSchedule faults;
+
   /// Simulator knobs (see sim::WorldConfig).  Serving-scale runs use
   /// kOpsOnly recording and a raised max_events (Algorithm 1 generates
   /// roughly 3n+2 events per operation, most of them cancelled-but-popped
@@ -100,6 +107,12 @@ struct RunSpec {
   std::vector<std::vector<ScriptOp>> scripts;
   sim::Time script_start = 0;
   sim::Time script_gap = 0;
+
+  /// Declarative alternative to calls/scripts: a generator asked for the
+  /// plan at execute() time (harness/workload.hpp).  Shareable across jobs
+  /// (generators are stateless by contract); mutually exclusive with
+  /// explicit calls/scripts.
+  std::shared_ptr<const WorkloadGen> workload;
 };
 
 /// Latency summary for one operation name.

@@ -1,0 +1,74 @@
+#pragma once
+// Scenario expansion: a structurally valid Scenario (scenario.hpp) becomes a
+// campaign::CampaignSpec -- every sweep's axes cartesian-expanded, every
+// value reference resolved, one Job per grid point -- plus the owning
+// storage the jobs point into (the data type, any sharded stores).
+//
+// Determinism contract: expansion is a pure function of (scenario text, axis
+// overrides).  Job order is sweep order in the file, points row-major with
+// the last declared axis varying fastest (campaign::Grid).  Numeric axis
+// values are canonicalized exactly like Grid's numeric axes (sink.hpp
+// fmt_double for floats, decimal for integers), so a scenario file that
+// transcribes one of the historical hard-coded grids expands to the same
+// names, tags and specs -- and therefore byte-identical JSON/CSV artifacts.
+//
+// Every semantic error -- unknown enum value, bad reference, malformed fault
+// schedule, key not applicable to the resolved kind -- throws
+// std::runtime_error("file:line: message"), same format as the parser.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/data_type.hpp"
+#include "campaign/campaign.hpp"
+#include "core/sharded_store.hpp"
+#include "scenario/scenario.hpp"
+
+namespace lintime::scenario {
+
+/// Replaces the values of one named axis everywhere it is declared (the CLI
+/// `--axis name=v1,v2` escape hatch; `--serving-ops N` is sugar for
+/// `--axis ops=N`).  Values are canonicalized like axis literals.  An
+/// override naming an axis no sweep declares is an error.
+struct AxisOverride {
+  std::string axis;
+  std::vector<std::string> values;
+};
+
+/// An expanded campaign plus the storage its jobs borrow.  Move-only; must
+/// outlive any campaign::run_campaign call on `spec`.
+struct ScenarioCampaign {
+  campaign::CampaignSpec spec;
+
+  /// [scenario] bench-ops: report completed-op throughput in bench entries.
+  bool bench_ops = false;
+
+  /// One canonical line per job describing everything that determines it
+  /// (params, algo, X, delays, faults, workload, ...).  campaign_digest()
+  /// hashes these; golden tests pin them so a silent change to expansion
+  /// semantics cannot masquerade as a no-op.
+  std::vector<std::string> job_descriptions;
+
+  /// The [scenario] type instance every non-store job points at.
+  std::unique_ptr<adt::DataType> base_type;
+  /// One store per distinct (keys, shards) pair, shared across the jobs
+  /// that request it ([store] section).
+  std::vector<std::unique_ptr<core::ShardedStore>> stores;
+};
+
+/// Instantiates a registered data type by name: queue, stack, register,
+/// rmw_register, max_register, set, counter, pqueue, deque, pool, tree.
+/// Throws std::runtime_error on unknown names.
+[[nodiscard]] std::unique_ptr<adt::DataType> make_data_type(const std::string& name);
+
+/// detlint:entry-point -- expansion feeds RunSpecs straight into the
+/// deterministic campaign executor.
+[[nodiscard]] ScenarioCampaign expand(const Scenario& sc,
+                                      const std::vector<AxisOverride>& overrides = {});
+
+/// 128-bit hex digest over the campaign name and job descriptions; the
+/// checked-in corpus digests (scenarios/digests.txt) pin these.
+[[nodiscard]] std::string campaign_digest(const ScenarioCampaign& c);
+
+}  // namespace lintime::scenario

@@ -1,0 +1,248 @@
+#include "scenario/toml.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lintime::scenario {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a `#` comment, respecting quoted strings (scenario names may
+/// legitimately contain '#', e.g. the table-bench job names).
+std::string strip_comment(const std::string& line) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) in_string = !in_string;
+    if (c == '#' && !in_string) return line.substr(0, i);
+  }
+  return line;
+}
+
+bool valid_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' && c != '_' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses one double-quoted string starting at text[pos]; advances pos past
+/// the closing quote.  Supports \" and \\ escapes only.
+std::string parse_quoted(const std::string& file, int line, const std::string& text,
+                         std::size_t& pos) {
+  std::string out;
+  ++pos;  // opening quote
+  while (pos < text.size() && text[pos] != '"') {
+    if (text[pos] == '\\') {
+      ++pos;
+      if (pos >= text.size() || (text[pos] != '"' && text[pos] != '\\')) {
+        toml_fail(file, line, "unsupported escape in string (only \\\" and \\\\)");
+      }
+    }
+    out += text[pos++];
+  }
+  if (pos >= text.size()) toml_fail(file, line, "unterminated string");
+  ++pos;  // closing quote
+  return out;
+}
+
+TomlValue parse_scalar(const std::string& file, int line, const std::string& token) {
+  TomlValue v;
+  v.line = line;
+  if (token == "true" || token == "false") {
+    v.kind = TomlValue::Kind::kBool;
+    v.b = token == "true";
+    return v;
+  }
+  // Integer literal: optional sign, digits only.  Everything else numeric
+  // (decimal point, exponent) is a float.
+  bool integral = !token.empty();
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (i == 0 && (c == '+' || c == '-')) {
+      if (token.size() == 1) integral = false;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      integral = false;
+      break;
+    }
+  }
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  if (integral) {
+    v.kind = TomlValue::Kind::kInt;
+    errno = 0;
+    v.i = std::strtoll(begin, &end, 10);
+    // strtoll consumes every digit even on overflow, so ERANGE is the only
+    // signal that the literal does not fit in long long.
+    if (errno == ERANGE || end != begin + token.size()) {
+      toml_fail(file, line, "integer literal out of range: " + token);
+    }
+    v.num = static_cast<double>(v.i);
+    return v;
+  }
+  v.kind = TomlValue::Kind::kFloat;
+  v.num = std::strtod(begin, &end);
+  if (end != begin + token.size() || token.empty()) {
+    toml_fail(file, line,
+              "expected a value (quoted string, number, bool or [array]), got: " + token);
+  }
+  return v;
+}
+
+TomlValue parse_value(const std::string& file, int line, const std::string& raw) {
+  const std::string text = trim(raw);
+  if (text.empty()) toml_fail(file, line, "missing value after '='");
+
+  if (text.front() == '"') {
+    std::size_t pos = 0;
+    TomlValue v;
+    v.kind = TomlValue::Kind::kString;
+    v.line = line;
+    v.str = parse_quoted(file, line, text, pos);
+    if (pos != text.size()) toml_fail(file, line, "trailing characters after string");
+    return v;
+  }
+
+  if (text.front() == '[') {
+    if (text.back() != ']') toml_fail(file, line, "unterminated array (single-line only)");
+    TomlValue v;
+    v.kind = TomlValue::Kind::kArray;
+    v.line = line;
+    // Split on top-level commas, respecting quoted elements.
+    const std::string body = text.substr(1, text.size() - 2);
+    std::string item;
+    bool in_string = false;
+    for (std::size_t i = 0; i <= body.size(); ++i) {
+      const bool end = i == body.size();
+      const char c = end ? ',' : body[i];
+      if (!end && c == '"' && (i == 0 || body[i - 1] != '\\')) in_string = !in_string;
+      if (c == ',' && !in_string) {
+        const std::string t = trim(item);
+        item.clear();
+        if (t.empty()) {
+          if (end && v.items.empty()) break;  // "[]": empty array
+          if (end) break;                     // trailing comma
+          toml_fail(file, line, "empty array element");
+        }
+        if (t.front() == '"') {
+          std::size_t pos = 0;
+          TomlValue s;
+          s.kind = TomlValue::Kind::kString;
+          s.line = line;
+          s.str = parse_quoted(file, line, t, pos);
+          if (pos != t.size()) toml_fail(file, line, "trailing characters after string");
+          v.items.push_back(std::move(s));
+        } else {
+          v.items.push_back(parse_scalar(file, line, t));
+        }
+      } else if (!end) {
+        item += c;
+      }
+    }
+    if (in_string) toml_fail(file, line, "unterminated string in array");
+    return v;
+  }
+
+  return parse_scalar(file, line, text);
+}
+
+}  // namespace
+
+const char* TomlValue::kind_name() const {
+  switch (kind) {
+    case Kind::kString: return "string";
+    case Kind::kInt: return "integer";
+    case Kind::kFloat: return "float";
+    case Kind::kBool: return "bool";
+    case Kind::kArray: return "array";
+  }
+  return "?";
+}
+
+const TomlValue* TomlSection::find(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const TomlSection* TomlDoc::find(const std::string& name) const {
+  for (const auto& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void toml_fail(const std::string& file, int line, const std::string& what) {
+  throw std::runtime_error(file + ":" + std::to_string(line) + ": " + what);
+}
+
+TomlDoc parse_toml(const std::string& text, std::string file) {
+  TomlDoc doc;
+  doc.file = std::move(file);
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  TomlSection* current = nullptr;
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = trim(strip_comment(line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') toml_fail(doc.file, lineno, "unterminated section header");
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      if (!valid_key(name)) toml_fail(doc.file, lineno, "malformed section name [" + name + "]");
+      if (doc.find(name) != nullptr) {
+        toml_fail(doc.file, lineno, "duplicate section [" + name + "]");
+      }
+      doc.sections.push_back(TomlSection{name, lineno, {}});
+      current = &doc.sections.back();
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      toml_fail(doc.file, lineno, "expected 'key = value' or '[section]', got: " + line);
+    }
+    const std::string key = trim(line.substr(0, eq));
+    if (!valid_key(key)) toml_fail(doc.file, lineno, "malformed key '" + key + "'");
+    if (current == nullptr) {
+      toml_fail(doc.file, lineno, "key '" + key + "' before any [section] header");
+    }
+    if (current->find(key) != nullptr) {
+      toml_fail(doc.file, lineno,
+                "duplicate key '" + key + "' in section [" + current->name + "]");
+    }
+    current->entries.emplace_back(key, parse_value(doc.file, lineno, line.substr(eq + 1)));
+  }
+  return doc;
+}
+
+TomlDoc parse_toml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("scenario: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_toml(buf.str(), path);
+}
+
+}  // namespace lintime::scenario

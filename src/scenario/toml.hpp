@@ -1,0 +1,65 @@
+#pragma once
+// Strict mini-TOML document parser, the scenario DSL's surface syntax --
+// the same deliberately small dialect detlint.toml is written in:
+// `[section]` headers, `key = value` lines, `#` comments, double-quoted
+// strings, and single-line arrays of scalars.  No nesting, no multi-line
+// values, no bare keys without sections.  Every malformed construct is a
+// hard error thrown as "file:line: message" (std::runtime_error), so a typo
+// in a scenario file can never silently change an experiment.
+//
+// This layer is purely syntactic; the schema (which sections and keys
+// exist, which values are legal) lives in scenario.hpp and is just as
+// strict.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lintime::scenario {
+
+/// One scalar or single-line array value, with its source line for error
+/// reporting downstream.  Numeric literals keep both views: `i` is only
+/// meaningful for kInt, `num` is set for kInt and kFloat.
+struct TomlValue {
+  enum class Kind { kString, kInt, kFloat, kBool, kArray };
+  Kind kind = Kind::kString;
+  std::string str;               ///< kString payload
+  std::int64_t i = 0;            ///< kInt payload
+  double num = 0;                ///< kInt / kFloat payload
+  bool b = false;                ///< kBool payload
+  std::vector<TomlValue> items;  ///< kArray payload (scalars only)
+  int line = 0;
+
+  [[nodiscard]] const char* kind_name() const;
+};
+
+/// One `[section]`: ordered key/value entries.  Duplicate keys within a
+/// section are parse errors.
+struct TomlSection {
+  std::string name;
+  int line = 0;
+  std::vector<std::pair<std::string, TomlValue>> entries;
+
+  /// The value for `key`, or nullptr if absent.
+  [[nodiscard]] const TomlValue* find(const std::string& key) const;
+};
+
+/// A parsed document: sections in file order.  Duplicate section names are
+/// parse errors; keys before the first section header are too.
+struct TomlDoc {
+  std::string file;  ///< display name used in error messages
+  std::vector<TomlSection> sections;
+
+  [[nodiscard]] const TomlSection* find(const std::string& name) const;
+};
+
+/// Throws std::runtime_error("file:line: what").
+[[noreturn]] void toml_fail(const std::string& file, int line, const std::string& what);
+
+/// Parses a document from text; `file` is only used in error messages.
+[[nodiscard]] TomlDoc parse_toml(const std::string& text, std::string file);
+
+/// Reads and parses `path`; throws std::runtime_error if unreadable.
+[[nodiscard]] TomlDoc parse_toml_file(const std::string& path);
+
+}  // namespace lintime::scenario

@@ -1,0 +1,118 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace lintime::sim {
+
+namespace {
+
+void check_proc(ProcId p, int n, const char* what) {
+  if (p == kAnyProc) return;
+  if (p < 0 || p >= n) {
+    throw std::invalid_argument(std::string("FaultSchedule: ") + what + " " + std::to_string(p) +
+                                " out of range [0, " + std::to_string(n) + ")");
+  }
+}
+
+}  // namespace
+
+void FaultSchedule::validate(int n) const {
+  std::vector<bool> crashed(static_cast<std::size_t>(n), false);
+  for (const CrashEvent& c : crashes) {
+    if (c.proc < 0 || c.proc >= n) {
+      throw std::invalid_argument("FaultSchedule: crash proc " + std::to_string(c.proc) +
+                                  " out of range [0, " + std::to_string(n) + ")");
+    }
+    if (!(c.when >= 0)) {  // !(>= 0) also rejects NaN
+      throw std::invalid_argument("FaultSchedule: crash time must be >= 0, got " +
+                                  std::to_string(c.when));
+    }
+    if (crashed[static_cast<std::size_t>(c.proc)]) {
+      throw std::invalid_argument("FaultSchedule: duplicate crash for proc " +
+                                  std::to_string(c.proc));
+    }
+    crashed[static_cast<std::size_t>(c.proc)] = true;
+  }
+
+  for (const LinkWindow& w : link_drops) {
+    check_proc(w.src, n, "link window src");
+    check_proc(w.dst, n, "link window dst");
+    if (w.src != kAnyProc && w.src == w.dst) {
+      throw std::invalid_argument("FaultSchedule: link window on self-link " +
+                                  std::to_string(w.src) + " -> " + std::to_string(w.dst));
+    }
+    if (!(w.from >= 0) || !(w.until > w.from)) {
+      throw std::invalid_argument("FaultSchedule: link window must satisfy 0 <= from < until, "
+                                  "got [" + std::to_string(w.from) + ", " +
+                                  std::to_string(w.until) + ")");
+    }
+  }
+
+  // Overlap check per identical directed pair: sort by (src, dst, from) and
+  // compare neighbours.  Wildcard pairs are their own key; a wildcard window
+  // overlapping a concrete one is composition, not a conflict.
+  std::vector<LinkWindow> sorted = link_drops;
+  std::sort(sorted.begin(), sorted.end(), [](const LinkWindow& a, const LinkWindow& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.from < b.from;
+  });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const LinkWindow& prev = sorted[i - 1];
+    const LinkWindow& cur = sorted[i];
+    if (prev.src == cur.src && prev.dst == cur.dst && cur.from < prev.until) {
+      throw std::invalid_argument(
+          "FaultSchedule: overlapping link windows on link " + std::to_string(cur.src) + " -> " +
+          std::to_string(cur.dst) + ": [" + std::to_string(prev.from) + ", " +
+          std::to_string(prev.until) + ") and [" + std::to_string(cur.from) + ", " +
+          std::to_string(cur.until) + ")");
+    }
+  }
+}
+
+std::vector<LinkWindow> partition_cycles(const std::vector<ProcId>& group_a,
+                                         const std::vector<ProcId>& group_b, Time start,
+                                         Time cut, Time period, int cycles) {
+  if (group_a.empty() || group_b.empty()) {
+    throw std::invalid_argument("partition_cycles: both groups must be non-empty");
+  }
+  std::set<ProcId> seen(group_a.begin(), group_a.end());
+  if (seen.size() != group_a.size()) {
+    throw std::invalid_argument("partition_cycles: duplicate proc in group_a");
+  }
+  for (const ProcId p : group_b) {
+    if (!seen.insert(p).second) {
+      throw std::invalid_argument("partition_cycles: proc " + std::to_string(p) +
+                                  " appears in both groups (or twice in group_b)");
+    }
+  }
+  if (!(start >= 0)) {
+    throw std::invalid_argument("partition_cycles: start must be >= 0");
+  }
+  if (!(cut > 0) || !(period > 0) || cycles < 1) {
+    throw std::invalid_argument("partition_cycles: cut, period and cycles must be positive");
+  }
+  if (cut > period) {
+    throw std::invalid_argument("partition_cycles: cut exceeds period (cycles would overlap)");
+  }
+
+  std::vector<LinkWindow> windows;
+  windows.reserve(static_cast<std::size_t>(cycles) * group_a.size() * group_b.size() * 2);
+  for (int k = 0; k < cycles; ++k) {
+    const Time from = start + static_cast<Time>(k) * period;
+    const Time until = from + cut;
+    for (const ProcId a : group_a) {
+      for (const ProcId b : group_b) {
+        windows.push_back(LinkWindow{a, b, from, until});
+        windows.push_back(LinkWindow{b, a, from, until});
+      }
+    }
+  }
+  return windows;
+}
+
+}  // namespace lintime::sim

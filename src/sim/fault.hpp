@@ -1,0 +1,78 @@
+#pragma once
+// Deterministic fault plane: timed process crashes and timed link-drop
+// windows, layered UNDER the seeded drop_probability extension.  Everything
+// here is a pure function of the schedule -- no randomness -- so runs with a
+// fault schedule replay byte-identically, and runs with an empty schedule
+// are byte-identical to runs without one (the drop-coin RNG stream is never
+// perturbed; see World::ContextImpl::send).
+//
+// Semantics (documented in DESIGN.md, "Scenario grammar"):
+//  - A crash at (proc, when) means the process handles no event dispatched
+//    at real time >= when: pending timers and invocations are discarded at
+//    dispatch, and messages that would ARRIVE at or after `when` are
+//    recorded as sent-but-unreceived at send time.  An invocation dispatched
+//    at or after the crash never enters the record at all; an operation
+//    in flight AT the crash stays incomplete in the record (the general
+//    permutation checker rejects incomplete histories, so crash scenarios
+//    that check linearizability should place crashes in quiet windows).
+//  - A link window (src, dst, from, until) drops every message SENT on that
+//    directed link during the half-open interval [from, until).  src/dst may
+//    be kAnyProc to match every source/destination.
+//
+// Partition/heal cycles are compiled down to link windows by
+// partition_cycles(); the World only ever sees the flat window list.
+
+#include <vector>
+
+#include "sim/run_record.hpp"  // ProcId, Time
+
+namespace lintime::sim {
+
+/// Wildcard for LinkWindow::src / LinkWindow::dst: matches every process.
+inline constexpr ProcId kAnyProc = -1;
+
+/// Process `proc` halts at real time `when`: no event dispatched at or after
+/// `when` reaches it, and nothing arrives at it from `when` on.
+struct CrashEvent {
+  ProcId proc = 0;
+  Time when = 0;
+};
+
+/// Messages sent on the directed link src -> dst during [from, until) are
+/// lost.  kAnyProc wildcards match every source / destination.
+struct LinkWindow {
+  ProcId src = kAnyProc;
+  ProcId dst = kAnyProc;
+  Time from = 0;
+  Time until = 0;
+};
+
+/// The full deterministic fault schedule for one run.
+struct FaultSchedule {
+  std::vector<CrashEvent> crashes;
+  std::vector<LinkWindow> link_drops;
+
+  [[nodiscard]] bool empty() const { return crashes.empty() && link_drops.empty(); }
+
+  /// Throws std::invalid_argument on a malformed schedule: out-of-range or
+  /// duplicate crash proc ids, negative crash times, out-of-range window
+  /// endpoints (src/dst must be kAnyProc or in [0, n), never a self-link),
+  /// empty or inverted windows, or overlapping windows on an identical
+  /// (src, dst) pair.  Windows with distinct pairs (including wildcard vs
+  /// concrete) may overlap; they compose as "dropped if any window matches".
+  void validate(int n) const;
+};
+
+/// Compiles a partition/heal cycle into link windows: for each of `cycles`
+/// repetitions k, every directed link between group_a and group_b (both
+/// directions) is cut during [start + k*period, start + k*period + cut).
+/// The groups need not cover all processes; procs in neither group keep all
+/// their links.  Throws std::invalid_argument on empty/overlapping groups or
+/// non-positive cut/period/cycles (cut > period would make consecutive
+/// cycles overlap and is also rejected).
+[[nodiscard]] std::vector<LinkWindow> partition_cycles(const std::vector<ProcId>& group_a,
+                                                       const std::vector<ProcId>& group_b,
+                                                       Time start, Time cut, Time period,
+                                                       int cycles);
+
+}  // namespace lintime::sim

@@ -1,6 +1,7 @@
 #include "sim/world.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -54,11 +55,19 @@ class World::ContextImpl final : public Context {
       throw std::invalid_argument("send: bad destination " + std::to_string(dst));
     }
     const std::uint64_t id = world_.next_message_id_++;
-    if (draw_drop()) {
+    // Fault-plane ordering contract: the drop coin is ALWAYS drawn first, so
+    // an empty schedule leaves the RNG stream untouched; the link-window
+    // check consumes nothing; the crash check runs after the delay model so
+    // the delay stream stays aligned whether or not the destination is up.
+    if (draw_drop() || world_.link_cut(self_, dst)) {
       record_dropped(id, dst);
       return;
     }
     const Time recv = delivery_time(dst, id);
+    if (world_.crashed_by(dst, recv)) {
+      record_dropped(id, dst);
+      return;
+    }
     record_delivered(id, dst, recv);
     if (world_.config_.scheduler == SchedulerKind::kBinaryHeap) {
       world_.in_flight_.insert(id, PendingMessage{self_, dst, std::move(payload)});
@@ -94,11 +103,15 @@ class World::ContextImpl final : public Context {
     for (ProcId dst = 0; dst < n(); ++dst) {
       if (dst == self_) continue;
       const std::uint64_t id = world_.next_message_id_++;
-      if (draw_drop()) {
+      if (draw_drop() || world_.link_cut(self_, dst)) {
         record_dropped(id, dst);
         continue;
       }
       const Time recv = delivery_time(dst, id);
+      if (world_.crashed_by(dst, recv)) {
+        record_dropped(id, dst);
+        continue;
+      }
       record_delivered(id, dst, recv);
       world_.push_ring(EventKind::kDeliver, recv, dst, id, slot);
       ++delivered;
@@ -239,6 +252,21 @@ World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::m
   if (config_.delays == nullptr) {
     config_.delays = std::make_shared<ConstantDelay>(config_.params.d);
   }
+  config_.faults.validate(config_.params.n);
+  // Precompile the schedule: per-proc halt times (+inf = never) and
+  // grid-snapped windows, so dispatch/send compare against the same snapped
+  // times the event loop runs on.
+  has_crashes_ = !config_.faults.crashes.empty();
+  has_link_windows_ = !config_.faults.link_drops.empty();
+  crash_at_.assign(n, std::numeric_limits<Time>::infinity());
+  for (const CrashEvent& c : config_.faults.crashes) {
+    crash_at_[static_cast<std::size_t>(c.proc)] = snap(c.when);
+  }
+  link_windows_ = config_.faults.link_drops;
+  for (LinkWindow& w : link_windows_) {
+    w.from = snap(w.from);
+    w.until = snap(w.until);
+  }
   record_full_ = config_.record_detail == RecordDetail::kFull;
   ring_ = EventRing(EventRing::width_for(config_.params.d));
 
@@ -258,6 +286,17 @@ World::World(WorldConfig config, const ProcessFactory& factory) : config_(std::m
     ContextImpl ctx(*this, p, record_full_ ? &step : nullptr);
     processes_[static_cast<std::size_t>(p)]->on_start(ctx);
   }
+}
+
+bool World::link_cut(ProcId src, ProcId dst) const {
+  if (!has_link_windows_) return false;
+  for (const LinkWindow& w : link_windows_) {
+    if ((w.src == kAnyProc || w.src == src) && (w.dst == kAnyProc || w.dst == dst) &&
+        now_ >= w.from && now_ < w.until) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int World::tie_rank_of(EventKind kind) const {
@@ -374,6 +413,31 @@ template <bool kFull>
 void World::dispatch_impl(EventKind kind, ProcId proc, std::uint64_t id,
                           std::uint64_t payload_slot) {
   const auto pi = static_cast<std::size_t>(proc);
+
+  if (crashed_by(proc, now_)) {
+    // A crashed process takes no steps: consume the event's side-table entry
+    // (and, in ring mode, the payload refcount) and discard it.  Invocations
+    // discarded here produce no OpRecord; an op already pending at the crash
+    // simply never completes.  Deliveries cannot normally reach this point
+    // (send() drops them when recv >= the crash time) but are handled for
+    // robustness against hand-scheduled events.
+    switch (kind) {
+      case EventKind::kInvoke:
+        pending_invokes_.take(id);
+        break;
+      case EventKind::kDeliver:
+        if (config_.scheduler == SchedulerKind::kBinaryHeap) {
+          in_flight_.take(id);
+        } else if (auto* sp = payloads_.find(payload_slot); sp != nullptr) {
+          if (--sp->remaining == 0) payloads_.erase(payload_slot);
+        }
+        break;
+      case EventKind::kTimer:
+        timers_.take(id);
+        break;
+    }
+    return;
+  }
 
   StepRecord step;
   if constexpr (kFull) {

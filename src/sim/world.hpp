@@ -13,6 +13,7 @@
 #include "adt/op.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/event_ring.hpp"
+#include "sim/fault.hpp"
 #include "sim/model_params.hpp"
 #include "sim/process.hpp"
 #include "sim/run_record.hpp"
@@ -67,6 +68,13 @@ struct WorldConfig {
   /// Must lie within [0, 1] (validated).
   double drop_probability = 0;
   std::uint64_t drop_seed = 0;
+
+  /// EXTENSION: deterministic fault schedule (timed crashes, timed link-drop
+  /// windows; see sim/fault.hpp), layered under drop_probability: the drop
+  /// coin for a message is always drawn first, so an empty schedule leaves
+  /// the RNG stream -- and therefore the RunRecord -- byte-identical to a
+  /// config without one.  Validated against n in the World constructor.
+  FaultSchedule faults;
   std::shared_ptr<DelayModel> delays;  ///< nullptr = ConstantDelay(d)
   bool enforce_valid_delays = true;    ///< assert delays within [d-u, d]
   bool enforce_valid_skew = true;      ///< assert |c_i - c_j| <= eps
@@ -213,6 +221,14 @@ class World {
   void push_event(Event ev);
   void push_ring(EventKind kind, Time when, ProcId proc, std::uint64_t id, std::uint64_t slot);
 
+  /// True if `proc` has halted by real time `t` (crash times are snapped to
+  /// the event grid; a crash at `when` already blocks events AT `when`).
+  [[nodiscard]] bool crashed_by(ProcId proc, Time t) const {
+    return has_crashes_ && t >= crash_at_[static_cast<std::size_t>(proc)];
+  }
+  /// True if a message sent now on src -> dst falls inside a drop window.
+  [[nodiscard]] bool link_cut(ProcId src, ProcId dst) const;
+
   WorldConfig config_;
   bool record_full_ = true;  ///< config_.record_detail == kFull
   std::vector<std::unique_ptr<Process>> processes_;
@@ -226,6 +242,15 @@ class World {
   std::mt19937_64 drop_rng_{0};
   std::uint64_t next_op_uid_ = 1;
   Time now_ = 0;
+
+  // Fault plane, precompiled from config_.faults: per-proc halt time (+inf
+  // when the proc never crashes) and grid-snapped link windows.  The two
+  // bools keep the empty-schedule dispatch/send paths to one predictable
+  // branch each.
+  std::vector<Time> crash_at_;
+  std::vector<LinkWindow> link_windows_;
+  bool has_crashes_ = false;
+  bool has_link_windows_ = false;
 
   // Sequential ids consumed near-FIFO: SlotMap beats std::map's node
   // allocation + pointer chase on the dispatch hot path.

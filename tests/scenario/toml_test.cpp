@@ -1,0 +1,141 @@
+// Tests for the strict mini-TOML parser (scenario/toml.hpp): every accepted
+// construct, and every malformed one as a "file:line: message" error.
+
+#include "scenario/toml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace lintime::scenario {
+namespace {
+
+/// Parses `text` expecting failure; returns the exception message.
+std::string fail_msg(const std::string& text) {
+  try {
+    (void)parse_toml(text, "t.toml");
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a parse error for:\n" << text;
+  return "";
+}
+
+TEST(TomlTest, ParsesEveryScalarKind) {
+  const auto doc = parse_toml(
+      "[sec]\n"
+      "s = \"hello\"\n"
+      "i = -42\n"
+      "f = 1.5e-3\n"
+      "b = true\n"
+      "a = [1, 2.5, \"x\", false]\n",
+      "t.toml");
+  ASSERT_EQ(doc.sections.size(), 1u);
+  const TomlSection& sec = doc.sections[0];
+  EXPECT_EQ(sec.name, "sec");
+  EXPECT_EQ(sec.line, 1);
+  ASSERT_EQ(sec.entries.size(), 5u);
+
+  const TomlValue* s = sec.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, TomlValue::Kind::kString);
+  EXPECT_EQ(s->str, "hello");
+  EXPECT_EQ(s->line, 2);
+
+  const TomlValue* i = sec.find("i");
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(i->kind, TomlValue::Kind::kInt);
+  EXPECT_EQ(i->i, -42);
+  EXPECT_EQ(i->num, -42.0);
+
+  const TomlValue* f = sec.find("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind, TomlValue::Kind::kFloat);
+  EXPECT_DOUBLE_EQ(f->num, 1.5e-3);
+
+  const TomlValue* b = sec.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->kind, TomlValue::Kind::kBool);
+  EXPECT_TRUE(b->b);
+
+  const TomlValue* a = sec.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->kind, TomlValue::Kind::kArray);
+  ASSERT_EQ(a->items.size(), 4u);
+  EXPECT_EQ(a->items[0].kind, TomlValue::Kind::kInt);
+  EXPECT_EQ(a->items[1].kind, TomlValue::Kind::kFloat);
+  EXPECT_EQ(a->items[2].kind, TomlValue::Kind::kString);
+  EXPECT_EQ(a->items[3].kind, TomlValue::Kind::kBool);
+}
+
+TEST(TomlTest, CommentsAreQuoteAware) {
+  // The '#' inside the quoted string is payload (table-bench job names start
+  // with '#'); the one outside is a comment.
+  const auto doc = parse_toml(
+      "# leading comment\n"
+      "[sec]  # trailing\n"
+      "name = \"#0/alg/op\"  # comment after value\n",
+      "t.toml");
+  const TomlValue* v = doc.sections[0].find("name");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->str, "#0/alg/op");
+}
+
+TEST(TomlTest, StringEscapes) {
+  const auto doc = parse_toml("[s]\nk = \"a\\\"b\\\\c\"\n", "t.toml");
+  EXPECT_EQ(doc.sections[0].find("k")->str, "a\"b\\c");
+}
+
+TEST(TomlTest, ArrayEdgeCases) {
+  const auto doc = parse_toml(
+      "[s]\n"
+      "empty = []\n"
+      "trailing = [1, 2,]\n"
+      "quoted = [\"a,b\", \"c\"]\n",
+      "t.toml");
+  EXPECT_TRUE(doc.sections[0].find("empty")->items.empty());
+  EXPECT_EQ(doc.sections[0].find("trailing")->items.size(), 2u);
+  // Commas inside quoted elements do not split.
+  const TomlValue* q = doc.sections[0].find("quoted");
+  ASSERT_EQ(q->items.size(), 2u);
+  EXPECT_EQ(q->items[0].str, "a,b");
+}
+
+TEST(TomlTest, FindMissesReturnNull) {
+  const auto doc = parse_toml("[s]\nk = 1\n", "t.toml");
+  EXPECT_EQ(doc.find("nope"), nullptr);
+  EXPECT_EQ(doc.sections[0].find("nope"), nullptr);
+}
+
+TEST(TomlTest, ErrorsCarryFileAndLine) {
+  // Line 3 is the offender in each document; the prefix is "file:line: ".
+  EXPECT_EQ(fail_msg("[a]\nk = 1\nk = 2\n").rfind("t.toml:3: ", 0), 0u);
+  EXPECT_EQ(fail_msg("[a]\n\n[a]\n").rfind("t.toml:3: ", 0), 0u);
+}
+
+TEST(TomlTest, RejectsMalformedConstructs) {
+  EXPECT_NE(fail_msg("k = 1\n").find("before any [section]"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = 1\nk = 2\n").find("duplicate key"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = 1\n[s]\n").find("duplicate section"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\njust words\n").find("expected 'key = value'"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk =\n").find("missing value"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = \"open\n").find("unterminated string"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = \"a\\n\"\n").find("unsupported escape"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = \"a\" b\n").find("trailing characters"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = bareword\n").find("expected a value"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = [1,\n2]\n").find("unterminated array"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = [1,,2]\n").find("empty array element"), std::string::npos);
+  EXPECT_NE(fail_msg("[s\nk = 1\n").find("unterminated section header"), std::string::npos);
+  EXPECT_NE(fail_msg("[s!]\n").find("malformed section name"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk! = 1\n").find("malformed key"), std::string::npos);
+  EXPECT_NE(fail_msg("[s]\nk = 99999999999999999999\n").find("out of range"),
+            std::string::npos);
+}
+
+TEST(TomlTest, MissingFileThrows) {
+  EXPECT_THROW((void)parse_toml_file("/nonexistent/path.toml"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lintime::scenario
